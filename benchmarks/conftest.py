@@ -1,0 +1,49 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Every ``test_bench_*`` module regenerates one table or figure of the
+paper.  The rendered rows/series are printed (run with ``-s`` to see
+them live), stored in each benchmark's ``extra_info``, and written to
+``benchmarks/out/<name>.txt`` so a plain
+``pytest benchmarks/ --benchmark-only`` leaves the artifacts on disk.
+
+Scale selection: set ``REPRO_BENCH_SCALE`` to ``smoke`` (default,
+seconds), ``small`` (tens of seconds), or ``paper`` (minutes, 1024
+items as in the paper).
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import SCALES
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    name = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+    if name not in SCALES:
+        raise ValueError(f"REPRO_BENCH_SCALE={name!r}; pick one of {sorted(SCALES)}")
+    return SCALES[name]
+
+
+@pytest.fixture(scope="session")
+def bench_seed():
+    return int(os.environ.get("REPRO_BENCH_SEED", "7"))
+
+
+@pytest.fixture()
+def publish():
+    """Return a callable that prints and persists a rendered artifact."""
+
+    def _publish(name: str, text: str, benchmark=None):
+        OUT_DIR.mkdir(exist_ok=True)
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print()
+        print(text)
+        if benchmark is not None:
+            benchmark.extra_info["artifact"] = str(OUT_DIR / f"{name}.txt")
+
+    return _publish

@@ -1,0 +1,32 @@
+"""Figure 3 — distributions of accesses and updates over data,
+original vs UNIT-degraded.
+
+Shape assertions (paper Section 4.2):
+* med-unif: UNIT's *kept* updates follow the query distribution — the
+  executed-update histogram correlates with the access histogram more
+  than the (uniform) original does;
+* med-neg: a large share of updates is dropped, concentrated on
+  hot-updated / cold-queried items.
+"""
+
+from repro.experiments.figures import figure3, render_figure3
+
+
+def test_bench_figure3(benchmark, bench_scale, bench_seed, publish):
+    cases = benchmark.pedantic(
+        figure3, args=(bench_scale,), kwargs={"seed": bench_seed}, rounds=1, iterations=1
+    )
+
+    unif = cases["med-unif"]
+    assert unif.drop_fraction > 0.2, "UNIT should shed a meaningful share at med"
+    assert (
+        unif.corr_executed_vs_queries > unif.corr_original_vs_queries + 0.05
+    ), "kept updates should track the query distribution (Fig 3b)"
+
+    neg = cases["med-neg"]
+    assert neg.drop_fraction > 0.3, "negatively-correlated updates are mostly shed"
+    assert neg.corr_executed_vs_queries > neg.corr_original_vs_queries, (
+        "dropping should concentrate on hot-updated/cold-queried items (Fig 3c)"
+    )
+
+    publish("figure3", render_figure3(cases), benchmark)

@@ -1,0 +1,48 @@
+"""Figure 4 — naive USM (success ratio) across the nine update traces.
+
+Shape assertions (paper Section 4.3):
+* UNIT is at or near the top in every cell (we assert: never beaten by
+  more than a small margin, and strictly best at the medium volume for
+  the negative correlation);
+* QMF falls below ODU under the uniform distribution at medium/high
+  volume (its conservatism backfires);
+* IMU collapses toward zero as update volume reaches 150 % CPU.
+"""
+
+from repro.experiments.figures import figure4, render_figure4
+
+# One-seed wobble allowance.  The smoke horizon (120 s) barely covers
+# the controller's warm-up and convergence, so its margin is loose.
+# At the low volume all policies compress toward the same level (as in
+# the paper's low bars); the decisive cells are the medium/high rows,
+# asserted separately below.
+NOISE_MARGIN = {"smoke": 0.14, "small": 0.08, "paper": 0.07}
+
+
+def test_bench_figure4(benchmark, bench_scale, bench_seed, publish):
+    data = benchmark.pedantic(
+        figure4, args=(bench_scale,), kwargs={"seed": bench_seed}, rounds=1, iterations=1
+    )
+    assert len(data) == 9
+
+    margin = NOISE_MARGIN.get(bench_scale.name, 0.06)
+    for trace, row in data.items():
+        best_rival = max(row["imu"], row["odu"], row["qmf"])
+        assert row["unit"] >= best_rival - margin, (
+            f"UNIT far behind at {trace}: {row}"
+        )
+
+    assert data["med-neg"]["unit"] > data["med-neg"]["imu"]
+    # At the medium volume UNIT is at the top (within one-seed noise of
+    # the strongest baseline, ODU).
+    for trace in ("med-unif", "med-pos", "med-neg"):
+        best_rival = max(data[trace][p] for p in ("imu", "odu", "qmf"))
+        assert data[trace]["unit"] >= best_rival - 0.05, data[trace]
+    assert data["med-unif"]["qmf"] < data["med-unif"]["odu"]
+    assert data["high-unif"]["imu"] < 0.1
+    assert data["high-unif"]["qmf"] < 0.2
+    # All policies collapse relative to low volume as updates triple.
+    for policy in ("imu", "odu", "qmf", "unit"):
+        assert data["high-unif"][policy] <= data["low-unif"][policy] + margin
+
+    publish("figure4", render_figure4(data), benchmark)

@@ -1,0 +1,45 @@
+"""Figure 5 — USM sensitivity to non-zero penalty weights (Table 2).
+
+Shape assertions (paper Section 4.4):
+* UNIT is stable across the three dominant-weight settings of each
+  panel (its USM spread is small) — the headline claim of the section;
+* IMU and ODU are hit hardest when deadline misses are dear (high
+  C_fm): they cannot reject, so every overload failure costs the
+  maximum;
+* QMF is hit hardest when rejections are dear (high C_r).
+"""
+
+from repro.experiments.figures import figure5, render_figure5
+
+
+def spread(values):
+    return max(values) - min(values)
+
+
+def test_bench_figure5(benchmark, bench_scale, bench_seed, publish):
+    data = benchmark.pedantic(
+        figure5, args=(bench_scale,), kwargs={"seed": bench_seed}, rounds=1, iterations=1
+    )
+
+    for prefix in ("lt1", "gt1"):
+        keys = [key for key in data if key.startswith(prefix)]
+        unit_spread = spread([data[key]["unit"] for key in keys])
+        imu_spread = spread([data[key]["imu"] for key in keys])
+        assert unit_spread < imu_spread, (
+            f"UNIT should be the stable policy on panel {prefix}"
+        )
+
+    # IMU/ODU are weight-insensitive in behaviour, so high C_fm (their
+    # dominant failure) is their worst setting.
+    assert data["gt1-high-cfm"]["imu"] == min(
+        data[k]["imu"] for k in data if k.startswith("gt1")
+    )
+    # QMF's rejections make high C_r its worst setting.
+    assert data["gt1-high-cr"]["qmf"] == min(
+        data[k]["qmf"] for k in data if k.startswith("gt1")
+    )
+    # UNIT is the best policy when misses are the dominant cost.
+    assert data["gt1-high-cfm"]["unit"] == max(data["gt1-high-cfm"].values())
+    assert data["lt1-high-cfm"]["unit"] == max(data["lt1-high-cfm"].values())
+
+    publish("figure5", render_figure5(data), benchmark)

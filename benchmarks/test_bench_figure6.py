@@ -1,0 +1,39 @@
+"""Figure 6 — outcome-ratio decomposition.
+
+Shape assertions (paper Section 4.5):
+* IMU and ODU never reject (no admission control);
+* QMF's rejection ratio is the largest among the baselines ("QMF's
+  rejection ratio very high");
+* UNIT's decomposition *moves with the weights*: under each Fig. 5(a)
+  setting, the outcome carrying the dominant penalty is suppressed
+  relative to UNIT's other settings.
+"""
+
+from repro.experiments.figures import figure6, render_figure6
+
+
+def test_bench_figure6(benchmark, bench_scale, bench_seed, publish):
+    data = benchmark.pedantic(
+        figure6, args=(bench_scale,), kwargs={"seed": bench_seed}, rounds=1, iterations=1
+    )
+
+    baselines = {bar.label: bar for bar in data["baselines"]}
+    assert baselines["IMU"].rejection == 0.0
+    assert baselines["ODU"].rejection == 0.0
+    assert baselines["QMF"].rejection > max(
+        baselines["IMU"].rejection, baselines["ODU"].rejection
+    )
+    # IMU and ODU achieve 100% freshness by construction.
+    assert baselines["IMU"].dsf == 0.0
+    assert baselines["ODU"].dsf == 0.0
+
+    unit = {bar.label: bar for bar in data["unit"]}
+    high_cr = unit["UNIT high C_r (<1)"]
+    high_cfm = unit["UNIT high C_fm (<1)"]
+    high_cfs = unit["UNIT high C_fs (<1)"]
+    # The dominant-penalty outcome is suppressed under its own setting.
+    assert high_cr.rejection <= min(high_cfm.rejection, high_cfs.rejection) + 1e-9
+    assert high_cfm.dmf <= min(high_cr.dmf, high_cfs.dmf) + 1e-9
+    assert high_cfs.dsf <= min(high_cr.dsf, high_cfm.dsf) + 1e-9
+
+    publish("figure6", render_figure6(data), benchmark)

@@ -1,0 +1,73 @@
+"""Sensitivity study — the tech-report analysis the paper cites.
+
+Section 3.4 says "sensitivity analysis in [17] has shown that the exact
+value of C_du does not have a significant effect"; the tech report
+(PITT/CSD/TR-05-128) sweeps the framework's constants.  This bench
+sweeps each knob of UNIT one at a time on med-unif and prints the USM
+profile, asserting that none of them is a cliff near its default.
+"""
+
+
+from repro.core.unit import UnitConfig
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import ascii_table
+from repro.experiments.runner import run_experiment
+
+KNOBS = {
+    "c_du": (0.05, 0.1, 0.2, 0.4),
+    "c_uu": (0.25, 0.5, 1.0),
+    "c_forget": (0.8, 0.9, 0.95),
+    "control_period": (0.5, 1.0, 2.0),
+    "window": (10.0, 20.0, 40.0),
+    "initial_c_flex": (0.1, 0.25, 0.5),
+    "access_ticket_scale": (0.5, 1.0, 3.0),
+    "max_period_stretch": (30.0, 100.0, 300.0),
+}
+
+
+def run_with(scale, seed, **overrides):
+    config = ExperimentConfig(
+        policy="unit",
+        update_trace="med-unif",
+        seed=seed,
+        scale=scale,
+        unit=UnitConfig(**overrides),
+    )
+    return run_experiment(config).usm
+
+
+def test_bench_sensitivity_sweep(benchmark, bench_scale, bench_seed, publish):
+    def sweep():
+        results = {}
+        for knob, values in KNOBS.items():
+            results[knob] = {
+                value: run_with(bench_scale, bench_seed, **{knob: value})
+                for value in values
+            }
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for knob, by_value in results.items():
+        values = list(by_value.values())
+        spread = max(values) - min(values)
+        rows.append(
+            [
+                knob,
+                " ".join(f"{v:g}:{usm:+.3f}" for v, usm in by_value.items()),
+                f"{spread:.3f}",
+            ]
+        )
+        # No knob should be a cliff around its default at this scale.
+        assert spread < 0.25, f"{knob} swings USM by {spread:.3f}: {by_value}"
+
+    publish(
+        "sensitivity",
+        ascii_table(
+            ["knob", "value:USM", "spread"],
+            rows,
+            title="UNIT constant sensitivity (med-unif)",
+        ),
+        benchmark,
+    )

@@ -1,0 +1,118 @@
+"""Performance microbenchmarks of the substrate hot paths.
+
+These are regression guards, not paper artifacts: event loop
+throughput, Fenwick-lottery operations, lock-manager handshakes, and a
+full end-to-end simulation per policy.
+"""
+
+import random
+
+from repro.core.lottery import LotteryScheduler
+from repro.core.tickets import TicketBook
+from repro.db.locks import LockManager, LockMode
+from repro.db.transactions import QueryTransaction, UpdateTransaction
+from repro.experiments.config import ExperimentConfig, SCALES
+from repro.experiments.runner import run_experiment
+from repro.sim.engine import Simulator
+
+
+def test_bench_event_loop_throughput(benchmark):
+    """Schedule-and-fire cost of the bare engine (10k events/round)."""
+
+    def run_events():
+        sim = Simulator()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+
+        for i in range(10_000):
+            sim.schedule(float(i % 97) + i * 1e-6, tick)
+        sim.run()
+        return count
+
+    assert benchmark(run_events) == 10_000
+
+
+def test_bench_lottery_update_and_sample(benchmark):
+    """O(log n) set_weight + sample over 1024 slots (paper's S)."""
+    lottery = LotteryScheduler(1024)
+    rng = random.Random(0)
+    for i in range(1024):
+        lottery.set_weight(i, rng.random())
+
+    def churn():
+        for i in range(1000):
+            lottery.set_weight(i % 1024, rng.random())
+            lottery.sample(rng)
+
+    benchmark(churn)
+
+
+def test_bench_ticket_book_event_stream(benchmark):
+    """Ticket maintenance under a mixed query/update event stream."""
+    book = TicketBook(1024)
+    rng = random.Random(1)
+    events = [
+        (rng.randrange(1024), rng.random() < 0.7, rng.random())
+        for _ in range(5000)
+    ]
+
+    def stream():
+        for item_id, is_query, value in events:
+            if is_query:
+                book.on_query_access(item_id, cpu_utilization=value)
+            else:
+                book.on_update(item_id, update_exec_time=value + 0.01)
+
+    benchmark(stream)
+
+
+def test_bench_lock_manager_handshakes(benchmark):
+    """Grant/conflict/release churn at item granularity."""
+
+    def churn():
+        locks = LockManager()
+        for round_no in range(500):
+            query = QueryTransaction(
+                txn_id=round_no * 2 + 1,
+                arrival=0.0,
+                exec_time=0.1,
+                items=(round_no % 32,),
+                relative_deadline=10.0,
+            )
+            update = UpdateTransaction(
+                txn_id=round_no * 2 + 2,
+                arrival=0.0,
+                exec_time=0.1,
+                item_id=round_no % 32,
+                period=1.0,
+            )
+            locks.request(query, round_no % 32, LockMode.READ)
+            result = locks.request(update, round_no % 32, LockMode.WRITE)
+            for victim in result.victims:
+                locks.release_all(victim)
+            locks.request(update, round_no % 32, LockMode.WRITE)
+            locks.release_all(update)
+            locks.release_all(query)
+
+    benchmark(churn)
+
+
+def test_bench_end_to_end_unit(benchmark, bench_seed):
+    """Whole-stack run: UNIT on med-unif at smoke scale."""
+    config = ExperimentConfig(
+        policy="unit", update_trace="med-unif", seed=bench_seed, scale=SCALES["smoke"]
+    )
+    report = benchmark.pedantic(run_experiment, args=(config,), rounds=1, iterations=1)
+    assert report.queries_submitted > 0
+
+
+def test_bench_end_to_end_imu(benchmark, bench_seed):
+    """Whole-stack run: IMU (highest event volume) on med-unif."""
+    config = ExperimentConfig(
+        policy="imu", update_trace="med-unif", seed=bench_seed, scale=SCALES["smoke"]
+    )
+    report = benchmark.pedantic(run_experiment, args=(config,), rounds=1, iterations=1)
+    assert report.updates_executed == report.update_arrivals

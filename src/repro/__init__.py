@@ -1,0 +1,56 @@
+"""Reproduction of *UNIT: User-centric Transaction Management in
+Web-Database Systems* (Qu, Labrinidis, Mossé — ICDE 2006).
+
+The package is organized in four layers:
+
+``repro.sim``
+    A general-purpose discrete-event simulation substrate: event loop,
+    cancellable timers, seeded random streams, and statistics helpers.
+
+``repro.db``
+    The simulated web-database server: data items with lag-based
+    freshness, query/update transactions, a 2PL-HP lock manager, a
+    dual-priority EDF ready queue, and a preemptive single-CPU server.
+
+``repro.workload``
+    Workload generation: a synthetic ``cello99a``-like read trace,
+    query traces with firm deadlines and freshness requirements, and
+    the paper's nine update traces (three volumes times three spatial
+    correlations).
+
+``repro.core``
+    The paper's contribution and its competitors: the User Satisfaction
+    Metric, the UNIT feedback framework (admission control + update
+    frequency modulation + load balancing controller), and the IMU,
+    ODU, and QMF baseline policies.
+
+``repro.experiments``
+    A harness that regenerates every table and figure of the paper's
+    evaluation section.
+
+Quickstart::
+
+    from repro import build_experiment, run_experiment
+
+    config = build_experiment(policy="unit", update_trace="med-unif", seed=7)
+    report = run_experiment(config)
+    print(report.summary())
+"""
+
+from repro.core.usm import PenaltyProfile, UsmAccumulator
+from repro.db.transactions import Outcome
+from repro.experiments.config import ExperimentConfig, build_experiment
+from repro.experiments.runner import SimulationReport, run_experiment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentConfig",
+    "Outcome",
+    "PenaltyProfile",
+    "SimulationReport",
+    "UsmAccumulator",
+    "build_experiment",
+    "run_experiment",
+    "__version__",
+]

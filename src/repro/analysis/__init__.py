@@ -1,0 +1,20 @@
+"""Post-run analysis: latency distributions and control timelines.
+
+The experiment runner reports outcome totals; this subpackage digs into
+*how* a run unfolded — response-time percentiles per outcome
+(:mod:`repro.analysis.latency`) and periodic snapshots of the server
+and controller state (:mod:`repro.analysis.timeline`), the machinery
+behind plots like the flash-crowd example.
+"""
+
+from repro.analysis.latency import LatencySummary, latency_summary, percentile
+from repro.analysis.timeline import Timeline, TimelineProbe, TimelineSample
+
+__all__ = [
+    "LatencySummary",
+    "Timeline",
+    "TimelineProbe",
+    "TimelineSample",
+    "latency_summary",
+    "percentile",
+]

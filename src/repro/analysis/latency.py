@@ -1,0 +1,102 @@
+"""Response-time analysis over query records.
+
+The paper evaluates outcome *counts*; response-time distributions are
+the natural next question a systems reader asks (how close to their
+deadlines do successful queries finish? how long do doomed queries
+linger before the firm deadline kills them?).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.db.transactions import Outcome, QueryRecord
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile (``q`` in [0, 100]).
+
+    Raises:
+        ValueError: On an empty sequence or ``q`` outside [0, 100].
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    value = ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+    # Interpolation round-off must not escape the observed range.
+    return min(max(value, ordered[0]), ordered[-1])
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencySummary:
+    """Percentiles of response time for one outcome class."""
+
+    outcome: Optional[Outcome]  # None = all outcomes pooled
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def from_values(
+        cls, values: Sequence[float], outcome: Optional[Outcome] = None
+    ) -> "LatencySummary":
+        if not values:
+            raise ValueError("no values to summarize")
+        return cls(
+            outcome=outcome,
+            count=len(values),
+            mean=sum(values) / len(values),
+            p50=percentile(values, 50),
+            p90=percentile(values, 90),
+            p99=percentile(values, 99),
+            maximum=max(values),
+        )
+
+
+def latency_summary(
+    records: Iterable[QueryRecord],
+) -> Dict[Optional[Outcome], LatencySummary]:
+    """Response-time summaries pooled and per outcome.
+
+    Rejections resolve instantly (response time 0) and are excluded
+    from the pooled summary to avoid skewing it; they still appear
+    under their own key when present.
+    """
+    by_outcome: Dict[Outcome, List[float]] = {}
+    pooled: List[float] = []
+    for record in records:
+        by_outcome.setdefault(record.outcome, []).append(record.response_time)
+        if record.outcome is not Outcome.REJECTED:
+            pooled.append(record.response_time)
+
+    result: Dict[Optional[Outcome], LatencySummary] = {}
+    if pooled:
+        result[None] = LatencySummary.from_values(pooled)
+    for outcome, values in by_outcome.items():
+        result[outcome] = LatencySummary.from_values(values, outcome)
+    return result
+
+
+def slack_ratios(records: Iterable[QueryRecord]) -> List[float]:
+    """For successful queries: response time as a fraction of the
+    deadline (1.0 = finished exactly at the wire)."""
+    return [
+        record.response_time / record.relative_deadline
+        for record in records
+        if record.outcome is Outcome.SUCCESS and record.relative_deadline > 0
+    ]

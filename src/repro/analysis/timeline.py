@@ -1,0 +1,133 @@
+"""Periodic snapshots of server and controller state during a run.
+
+A :class:`TimelineProbe` schedules itself on the simulator and captures
+a :class:`TimelineSample` every ``interval`` simulated seconds: queue
+depths, CPU busy split, cumulative outcomes, and — when the policy is
+UNIT — the control knobs (``C_flex``, degraded-item count, ticket
+threshold).  This is the reusable version of what the flash-crowd
+example does by hand.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.db.server import CONTROL_EVENT_PRIORITY, Server
+from repro.db.transactions import Outcome
+
+
+@dataclasses.dataclass(frozen=True)
+class TimelineSample:
+    """One snapshot of a running simulation."""
+
+    time: float
+    ready_queries: int
+    ready_updates: int
+    busy_query: float
+    busy_update: float
+    outcomes: Dict[Outcome, int]
+    c_flex: Optional[float] = None
+    degraded_items: Optional[int] = None
+    ticket_threshold: Optional[float] = None
+
+    @property
+    def utilization_so_far(self) -> float:
+        """CPU busy fraction from t=0 to this sample."""
+        if self.time <= 0:
+            return 0.0
+        return (self.busy_query + self.busy_update) / self.time
+
+
+class Timeline:
+    """An ordered collection of samples with simple accessors."""
+
+    def __init__(self) -> None:
+        self.samples: List[TimelineSample] = []
+
+    def append(self, sample: TimelineSample) -> None:
+        if self.samples and sample.time < self.samples[-1].time:
+            raise ValueError("samples must be appended in time order")
+        self.samples.append(sample)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def series(self, field: str) -> List[float]:
+        """Extract one attribute across samples (None values skipped)."""
+        values = []
+        for sample in self.samples:
+            value = getattr(sample, field)
+            if value is not None:
+                values.append(value)
+        return values
+
+    def outcome_deltas(self, outcome: Outcome) -> List[int]:
+        """Per-interval increments of one outcome count."""
+        deltas = []
+        previous = 0
+        for sample in self.samples:
+            current = sample.outcomes.get(outcome, 0)
+            deltas.append(current - previous)
+            previous = current
+        return deltas
+
+
+class TimelineProbe:
+    """Self-scheduling sampler attached to a server.
+
+    Example::
+
+        probe = TimelineProbe(server, interval=10.0, horizon=400.0)
+        probe.start()
+        sim.run(until=401.0)
+        print(len(probe.timeline))
+    """
+
+    def __init__(self, server: Server, interval: float, horizon: float) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        self.server = server
+        self.interval = interval
+        self.horizon = horizon
+        self.timeline = Timeline()
+
+    def start(self) -> None:
+        """Schedule the first sample (at one interval from now)."""
+        self.server.sim.schedule_after(
+            self.interval, self._sample, priority=CONTROL_EVENT_PRIORITY
+        )
+
+    def _sample(self) -> None:
+        server = self.server
+        busy = server.busy_time_by_class()
+        policy = server.policy
+        c_flex = None
+        degraded = None
+        threshold = None
+        admission = getattr(policy, "admission", None)
+        if admission is not None:
+            c_flex = admission.c_flex
+        modulator = getattr(policy, "modulator", None)
+        if modulator is not None:
+            degraded = modulator.degraded_count()
+            threshold = modulator.tickets.threshold
+        self.timeline.append(
+            TimelineSample(
+                time=server.now,
+                ready_queries=len(server.ready.ready_queries()),
+                ready_updates=len(server.ready.ready_updates()),
+                busy_query=busy["query"],
+                busy_update=busy["update"],
+                outcomes=dict(server.outcome_counts),
+                c_flex=c_flex,
+                degraded_items=degraded,
+                ticket_threshold=threshold,
+            )
+        )
+        if server.now + self.interval <= self.horizon:
+            server.sim.schedule_after(
+                self.interval, self._sample, priority=CONTROL_EVENT_PRIORITY
+            )

@@ -1,0 +1,186 @@
+"""Query Admission Control (paper Section 3.3).
+
+Two gates, both O(ready-queue length) per arriving query:
+
+1. **Transaction deadline check** — keep only *promising* queries:
+   ``C_flex * EST_i + qe_i < qt_i`` where ``EST_i`` is the earliest
+   possible start time (the backlog that must drain before ``q_i`` can
+   run under the dual-priority EDF discipline) and ``C_flex`` is the
+   lag ratio the LBC tunes: Tighten/Loosen Admission Control signals
+   move it ±10 % (larger ``C_flex`` = tighter admission).
+
+2. **System USM check** — even a promising query is rejected when the
+   DMF penalty of the already-admitted queries it would endanger
+   exceeds the rejection penalty of turning it away.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, List
+
+from repro.core.usm import PenaltyProfile
+from repro.db.transactions import QueryTransaction
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.server import Server
+
+FLEX_STEP = 0.10  # TAC/LAC move C_flex by 10% (Section 3.3)
+FLEX_MIN = 0.01
+# Cap how far TAC can tighten: beyond a few multiples of the EST the
+# controller is rejecting queries that would comfortably make their
+# deadlines, and the LAC path takes many periods to walk back.
+FLEX_MAX = 4.0
+
+
+@dataclasses.dataclass
+class AdmissionDecision:
+    """A structured admission verdict (useful for tests and tracing)."""
+
+    admitted: bool
+    reason: str
+    est: float = 0.0
+    endangered: int = 0
+
+
+class AdmissionController:
+    """The AC module: deadline check plus system-USM check."""
+
+    def __init__(
+        self,
+        profile: PenaltyProfile,
+        c_flex: float = 1.0,
+        use_usm_check: bool = True,
+    ) -> None:
+        if c_flex <= 0:
+            raise ValueError("c_flex must be positive")
+        self.profile = profile
+        self.c_flex = c_flex
+        self.use_usm_check = use_usm_check
+        self.tighten_signals = 0
+        self.loosen_signals = 0
+        # Fraction of the CPU the update class has been consuming
+        # recently (refreshed by the policy's control tick).  Under the
+        # dual-priority discipline queued queries drain at rate
+        # (1 - update load); we stretch the EST by a *bounded* factor,
+        # because an unbounded stretch would reject every query under
+        # update overload and thereby starve the R->LAC / F_m->DU
+        # feedback the LBC relies on to shed that very load.
+        self.update_load = 0.0
+        self.max_drain_stretch = 2.0
+
+    # ------------------------------------------------------------------
+    # LBC control signals
+    # ------------------------------------------------------------------
+
+    def tighten(self) -> None:
+        """TAC: raise ``C_flex`` by 10 % (admit less)."""
+        self.c_flex = min(FLEX_MAX, self.c_flex * (1.0 + FLEX_STEP))
+        self.tighten_signals += 1
+
+    def loosen(self) -> None:
+        """LAC: lower ``C_flex`` by 10 % (admit more)."""
+        self.c_flex = max(FLEX_MIN, self.c_flex * (1.0 - FLEX_STEP))
+        self.loosen_signals += 1
+
+    # ------------------------------------------------------------------
+    # the admission decision
+    # ------------------------------------------------------------------
+
+    def earliest_start(self, query: QueryTransaction, server: "Server") -> float:
+        """EST relative to now: backlog ahead of ``query`` under
+        dual-priority EDF — the running transaction's remainder, all
+        queued updates, and queued queries with earlier deadlines —
+        stretched by the measured update load (future update arrivals
+        preempt the whole query class)."""
+        backlog = server.running_remaining()
+        backlog += server.ready.update_backlog()
+        backlog += server.ready.query_backlog_before(query.deadline)
+        return backlog * self._drain_stretch()
+
+    def _drain_stretch(self) -> float:
+        """Bounded EDF-drain correction for the measured update load."""
+        return min(self.max_drain_stretch, 1.0 / max(0.05, 1.0 - self.update_load))
+
+    def endangered_queries(
+        self,
+        query: QueryTransaction,
+        server: "Server",
+    ) -> List[QueryTransaction]:
+        """Admitted ready queries that would newly miss their deadline
+        if ``query`` (which runs before them under EDF) is admitted.
+
+        A ready query ``r`` with a later deadline sees its start pushed
+        back by ``qe_i``; it is endangered when its slack was
+        non-negative but smaller than ``qe_i``.
+        """
+        ready = [
+            other
+            for other in server.ready.ready_queries()
+            if other.deadline > query.deadline
+        ]
+        if not ready:
+            return []
+        ready.sort(key=lambda txn: txn.deadline)
+
+        base = server.running_remaining() + server.ready.update_backlog()
+        base += server.ready.query_backlog_before(query.deadline)
+
+        endangered: List[QueryTransaction] = []
+        prefix = 0.0
+        now = server.now
+        for other in ready:
+            # Work ahead of `other` excluding the newcomer: base backlog
+            # plus earlier-deadline ready queries between the newcomer
+            # and `other`.
+            start = base + prefix
+            finish = now + start + other.remaining
+            slack = other.deadline - finish
+            if 0.0 <= slack < query.exec_time:
+                endangered.append(other)
+            prefix += other.remaining
+        return endangered
+
+    def decide(self, query: QueryTransaction, server: "Server") -> AdmissionDecision:
+        """Run both admission gates for an arriving query."""
+        # Paper Section 3.3: reject unless C_flex * EST + qe < qt.  The
+        # drain stretch is folded into the EST (the backlog drains
+        # slower under update load); the query's own execution time is
+        # deliberately left unscaled so that driving C_flex down can
+        # always take the rejection rate to (only) the truly-impossible
+        # queries (qe >= qt).
+        #
+        # Preference-aware twist: a failed deadline check predicts a
+        # miss, so by Eq. 3 economics rejection is only the cheaper
+        # outcome when C_r < C_fm.  A profile that prices rejection
+        # *above* a miss (C_r > C_fm) would rather take the gamble —
+        # admit.  Under the naive all-zero weights the clause never
+        # fires and the paper's literal check applies.
+        est = self.earliest_start(query, server)
+        if self.c_flex * est + query.exec_time >= query.relative_deadline:
+            own = query.profile or self.profile
+            if not own.c_r > own.c_fm:
+                return AdmissionDecision(
+                    admitted=False, reason="deadline-check", est=est
+                )
+
+        # Multi-preference extension: a query carrying its own profile
+        # is priced by it; everyone else uses the system-wide profile.
+        own_profile = query.profile or self.profile
+        if self.use_usm_check and not (own_profile.is_naive and self.profile.is_naive):
+            endangered = self.endangered_queries(query, server)
+            dmf_cost = sum(
+                (other.profile or self.profile).c_fm for other in endangered
+            )
+            if dmf_cost > own_profile.c_r:
+                return AdmissionDecision(
+                    admitted=False,
+                    reason="usm-check",
+                    est=est,
+                    endangered=len(endangered),
+                )
+            return AdmissionDecision(
+                admitted=True, reason="ok", est=est, endangered=len(endangered)
+            )
+
+        return AdmissionDecision(admitted=True, reason="ok", est=est)

@@ -1,0 +1,100 @@
+"""The Load Balancing Controller and the Adaptive Allocation Algorithm
+(paper Section 3.2, Fig. 2).
+
+The LBC watches recent outcomes and, periodically or when the USM drops
+by more than a threshold (1 % of the USM range), reduces the *dominant*
+average penalty:
+
+* rejection cost ``R`` dominant   → Loosen Admission Control,
+* DMF cost ``F_m`` dominant       → Degrade Updates + Tighten AC,
+* DSF cost ``F_s`` dominant       → Upgrade Updates.
+
+When all three penalty weights are zero (the naive/success-ratio
+setting) the raw failure ratios stand in for the costs (Fig. 2,
+lines 2–3).  Ties break randomly.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import List, Optional
+
+from repro.core.usm import UsmWindow
+
+
+class ControlSignal(enum.Enum):
+    """Signals the LBC sends to the AC and UM modules."""
+
+    LOOSEN_ADMISSION = "LAC"
+    TIGHTEN_ADMISSION = "TAC"
+    DEGRADE_UPDATES = "DU"
+    UPGRADE_UPDATES = "UU"
+
+
+class LoadBalancingController:
+    """Adaptive Allocation over a sliding outcome window."""
+
+    def __init__(
+        self,
+        window: UsmWindow,
+        rng: random.Random,
+        usm_drop_threshold: float,
+        min_samples: int = 10,
+    ) -> None:
+        if usm_drop_threshold <= 0:
+            raise ValueError("usm_drop_threshold must be positive")
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        self.window = window
+        self.usm_drop_threshold = usm_drop_threshold
+        self.min_samples = min_samples
+        self._rng = rng
+        self._last_usm: Optional[float] = None
+        self.allocations = 0
+        self.signal_counts = {signal: 0 for signal in ControlSignal}
+
+    def check_drop(self, now: float) -> bool:
+        """True when the windowed USM fell by more than the threshold
+        since the last allocation — the event trigger of Section 3.2."""
+        usm = self.window.average_usm(now)
+        if usm is None or self._last_usm is None:
+            return False
+        return usm < self._last_usm - self.usm_drop_threshold
+
+    def allocate(self, now: float) -> List[ControlSignal]:
+        """Run the Adaptive Allocation Algorithm (Fig. 2).
+
+        Returns the control signals to apply (possibly none, when the
+        window is too thin or nothing is failing).
+        """
+        if self.window.sample_size(now) < self.min_samples:
+            return []
+        self._last_usm = self.window.average_usm(now)
+
+        if self.window.profile.is_naive:
+            costs = self.window.raw_failure_ratios(now)
+        else:
+            costs = self.window.cost_components(now)
+
+        peak = max(costs.values())
+        if peak <= 0:
+            return []  # nothing failing: leave the knobs alone
+        dominant_keys = [key for key, value in costs.items() if value == peak]
+        dominant = (
+            dominant_keys[0]
+            if len(dominant_keys) == 1
+            else self._rng.choice(dominant_keys)
+        )
+
+        if dominant == "R":
+            signals = [ControlSignal.LOOSEN_ADMISSION]
+        elif dominant == "F_m":
+            signals = [ControlSignal.DEGRADE_UPDATES, ControlSignal.TIGHTEN_ADMISSION]
+        else:  # "F_s"
+            signals = [ControlSignal.UPGRADE_UPDATES]
+
+        self.allocations += 1
+        for signal in signals:
+            self.signal_counts[signal] += 1
+        return signals

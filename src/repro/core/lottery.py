@@ -1,0 +1,118 @@
+"""Lottery scheduling over data items (Waldspurger & Weihl).
+
+Update Frequency Modulation picks its degradation victim "randomly …
+with probability proportional to the ticket value of the data item"
+(Section 3.4.1), at O(log N_d) per pick.  We implement the weighted
+sampling with a Fenwick (binary indexed) tree: point updates and
+prefix-descent sampling are both O(log n).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+
+class LotteryScheduler:
+    """Weighted random sampling over ``n`` slots with O(log n) updates.
+
+    Weights must be non-negative; a zero-weight slot is never drawn.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        self._n = n
+        self._tree = [0.0] * (n + 1)  # 1-based Fenwick tree
+        self._weights = [0.0] * n
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def total(self) -> float:
+        """Sum of all weights."""
+        return self._prefix_sum(self._n)
+
+    def weight(self, index: int) -> float:
+        """Current weight of slot ``index``."""
+        return self._weights[index]
+
+    def weights(self) -> List[float]:
+        """Copy of all weights."""
+        return list(self._weights)
+
+    def set_weight(self, index: int, weight: float) -> None:
+        """Set slot ``index`` to ``weight`` (>= 0) in O(log n)."""
+        if not 0 <= index < self._n:
+            raise IndexError(f"index {index} out of range [0, {self._n})")
+        if weight < 0:
+            raise ValueError("weights must be non-negative")
+        delta = weight - self._weights[index]
+        if delta == 0:
+            return
+        self._weights[index] = weight
+        position = index + 1
+        while position <= self._n:
+            self._tree[position] += delta
+            position += position & (-position)
+
+    def add_weight(self, index: int, delta: float) -> None:
+        """Adjust slot ``index`` by ``delta``, clamping at zero."""
+        self.set_weight(index, max(0.0, self._weights[index] + delta))
+
+    def _prefix_sum(self, count: int) -> float:
+        total = 0.0
+        position = count
+        while position > 0:
+            total += self._tree[position]
+            position -= position & (-position)
+        return total
+
+    def sample(self, rng: random.Random) -> Optional[int]:
+        """Draw a slot with probability proportional to its weight.
+
+        Returns None when all weights are zero.  Uses Fenwick descent:
+        walk down the implicit tree consuming the drawn mass, O(log n).
+        """
+        total = self.total
+        if total <= 0:
+            return None
+        target = rng.random() * total
+
+        position = 0
+        bit = 1
+        while bit << 1 <= self._n:
+            bit <<= 1
+        remaining = target
+        while bit:
+            nxt = position + bit
+            if nxt <= self._n and self._tree[nxt] < remaining:
+                remaining -= self._tree[nxt]
+                position = nxt
+            bit >>= 1
+        index = position  # position is the count of slots strictly before
+        if index >= self._n:
+            index = self._n - 1
+        # Guard against landing on a zero-weight slot through float error.
+        if self._weights[index] <= 0:
+            candidates = [i for i, w in enumerate(self._weights) if w > 0]
+            if not candidates:
+                return None
+            return rng.choice(candidates)
+        return index
+
+    def rebuild(self, weights: List[float]) -> None:
+        """Replace all weights at once in O(n)."""
+        if len(weights) != self._n:
+            raise ValueError("weight vector length mismatch")
+        if any(weight < 0 for weight in weights):
+            raise ValueError("weights must be non-negative")
+        self._weights = list(weights)
+        self._tree = [0.0] * (self._n + 1)
+        for index, weight in enumerate(weights):
+            if weight:
+                position = index + 1
+                while position <= self._n:
+                    self._tree[position] += weight
+                    position += position & (-position)

@@ -1,0 +1,154 @@
+"""Update Frequency Modulation (paper Section 3.4).
+
+*Degrading* stretches the current period of a lottery-picked victim
+item by ``(1 + C_du)`` (Eq. 9, ``C_du = 0.1``); *upgrading* shrinks the
+periods of all degraded items back toward their ideal period (Eq. 10 as
+disambiguated in DESIGN.md: halve the period, floor at the ideal,
+``C_uu = 0.5``).
+
+The paper issues one Degrade/Upgrade signal per control decision at
+trace scale (millions of seconds).  At our configurable scale a signal
+applies ``rounds`` lottery picks so the modulator converges within the
+shorter horizon; ``rounds=1`` recovers the paper's literal behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.core.tickets import TicketBook
+from repro.db.items import ItemTable
+
+DEFAULT_C_DU = 0.1  # period stretch per degrade (Eq. 9)
+DEFAULT_C_UU = 0.5  # period shrink per upgrade (Eq. 10)
+DEFAULT_MAX_STRETCH = 100.0  # cap on pc_j / pi_j (bounds staleness)
+
+
+class UpdateFrequencyModulator:
+    """The UM module: owns period modulation of all data items."""
+
+    def __init__(
+        self,
+        items: ItemTable,
+        tickets: TicketBook,
+        rng: random.Random,
+        c_du: float = DEFAULT_C_DU,
+        c_uu: float = DEFAULT_C_UU,
+        max_stretch: float = DEFAULT_MAX_STRETCH,
+    ) -> None:
+        if len(items) != len(tickets):
+            raise ValueError("item table and ticket book sizes differ")
+        if c_du <= 0:
+            raise ValueError("c_du must be positive")
+        if c_uu <= 0:
+            raise ValueError("c_uu must be positive")
+        if max_stretch <= 1:
+            raise ValueError("max_stretch must exceed 1")
+        self.items = items
+        self.tickets = tickets
+        self.c_du = c_du
+        self.c_uu = c_uu
+        self.max_stretch = max_stretch
+        # Escalation: when the update-dominated pool is fully degraded
+        # and the controller still demands shedding, walk the ticket
+        # threshold into protected items.  The floor bounds how deep the
+        # walk may go: items whose tickets sit below it (heavily queried
+        # — one access outweighs several updates) are never exposed no
+        # matter how long the overload lasts.
+        self.escalate = False
+        self.threshold_step = 0.5  # tau step per escalation/relaxation
+        self.escalation_floor = -1.0
+        self._rng = rng
+        self.degrade_events = 0
+        self.upgrade_events = 0
+
+    def degrade(self, rounds: int = 1) -> List[int]:
+        """Handle a Degrade Update signal: ``rounds`` lottery picks,
+        each stretching its victim's period by ``(1 + C_du)``.
+
+        An item already at the stretch cap is resampled (a pick spent
+        on it could not shed any more load); returns the victim item
+        ids (may repeat; empty when no item has positive lottery
+        weight yet).
+        """
+        if rounds <= 0:
+            raise ValueError("rounds must be positive")
+        victims: List[int] = []
+        escalated = False
+        for _ in range(rounds):
+            victim = self._sample_below_cap()
+            if victim is None:
+                # Everything above the ticket threshold is already fully
+                # degraded (or nothing is above it) yet the controller
+                # still wants to shed — escalate by walking the
+                # threshold down into more protected items.  At most one
+                # escalation step per signal, so sustained overload is
+                # needed to reach well-protected items.
+                if escalated or not self.escalate:
+                    break
+                if self.tickets.threshold - self.threshold_step < self.escalation_floor:
+                    break  # never expose heavily-queried items
+                escalated = True
+                before = self.tickets.threshold
+                if self.tickets.lower_threshold(self.threshold_step) >= before:
+                    break  # already at the minimum ticket: nothing left
+                victim = self._sample_below_cap()
+                if victim is None:
+                    break
+            self.items[victim].degrade_period(self.c_du)
+            victims.append(victim)
+        if victims:
+            self.degrade_events += 1
+        return victims
+
+    def _sample_below_cap(self, attempts: int = 8) -> Optional[int]:
+        for _ in range(attempts):
+            victim = self.tickets.sample_victim(self._rng)
+            if victim is None:
+                return None
+            item = self.items[victim]
+            if item.current_period < self.max_stretch * item.ideal_period:
+                return victim
+        return None
+
+    def upgrade_all(self) -> List[int]:
+        """Handle an Upgrade Update signal: shrink the period of every
+        degraded item toward its ideal period (Eq. 10) and relax the
+        escalation threshold back toward zero.
+
+        Returns the ids of items whose period changed.
+        """
+        self.relax_threshold()
+        changed: List[int] = []
+        for item in self.items.degraded_items():
+            before = item.current_period
+            item.upgrade_period(self.c_uu)
+            if item.current_period != before:
+                changed.append(item.item_id)
+        if changed:
+            self.upgrade_events += 1
+        return changed
+
+    def relax_threshold(self) -> None:
+        """Ease the escalation threshold back toward zero.
+
+        Called on every Upgrade signal and — by the UNIT policy — on any
+        control decision that did not demand degradation, so sustained
+        pressure is required to *hold* the threshold down (an integral
+        controller rather than a ratchet)."""
+        if self.tickets.threshold < 0.0:
+            self.tickets.raise_threshold(self.threshold_step)
+
+    def degraded_count(self) -> int:
+        """Number of items currently held above their ideal period."""
+        return len(self.items.degraded_items())
+
+    def victim_distribution(self) -> Optional[List[float]]:
+        """Current lottery weights normalized to probabilities (for
+        analysis); None when total weight is zero."""
+        weights = self.tickets.shifted_weights()
+        total = sum(weights)
+        if total <= 0:
+            return None
+        return [weight / total for weight in weights]

@@ -1,0 +1,302 @@
+"""The User Satisfaction Metric (paper Section 2.3).
+
+Each query contributes a gain ``G_s`` on success or a penalty ``C_r`` /
+``C_fm`` / ``C_fs`` on rejection / deadline miss / stale data (Eq. 3).
+The system USM is the sum over all submitted queries (Eq. 2); dividing
+by the number of submitted queries gives the *average* USM
+
+    ``USM = S - R - F_m - F_s``                       (Eq. 5)
+
+whose range is ``[-max(C_r, C_fm, C_fs), G_s]`` (Section 2.3.2).
+Setting all penalties to zero collapses USM to the classic success
+ratio — the paper's "naive USM" used in Fig. 4.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import deque
+from typing import Dict, Mapping, Optional
+
+from repro.db.transactions import Outcome
+
+
+@dataclasses.dataclass(frozen=True)
+class PenaltyProfile:
+    """The users' preference weights.
+
+    Attributes:
+        c_r: Rejection penalty.
+        c_fm: Deadline-Missed-Failure penalty.
+        c_fs: Data-Stale-Failure penalty.
+        gain: Success gain ``G_s``; the paper normalizes penalties to a
+            gain of 1.
+        name: Label for reports (e.g. ``"high C_fm (<1)"``).
+    """
+
+    c_r: float = 0.0
+    c_fm: float = 0.0
+    c_fs: float = 0.0
+    gain: float = 1.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if min(self.c_r, self.c_fm, self.c_fs) < 0:
+            raise ValueError("penalties cannot be negative")
+        if self.gain <= 0:
+            raise ValueError("gain must be positive")
+
+    def contribution(self, outcome: Outcome) -> float:
+        """Per-query USM contribution for the given outcome (Eq. 3)."""
+        if outcome is Outcome.SUCCESS:
+            return self.gain
+        if outcome is Outcome.REJECTED:
+            return -self.c_r
+        if outcome is Outcome.DEADLINE_MISS:
+            return -self.c_fm
+        return -self.c_fs
+
+    @property
+    def usm_min(self) -> float:
+        """Lower bound of the average USM."""
+        return -max(self.c_r, self.c_fm, self.c_fs, 0.0)
+
+    @property
+    def usm_max(self) -> float:
+        """Upper bound of the average USM (all queries succeed)."""
+        return self.gain
+
+    @property
+    def usm_range(self) -> float:
+        """Width of the attainable USM interval."""
+        return self.usm_max - self.usm_min
+
+    @property
+    def is_naive(self) -> bool:
+        """True when all penalties are zero (USM == success ratio)."""
+        return self.c_r == self.c_fm == self.c_fs == 0.0
+
+    @classmethod
+    def naive(cls) -> "PenaltyProfile":
+        """The Fig. 4 setting: USM equals the success ratio."""
+        return cls(name="naive")
+
+    def describe(self) -> str:
+        label = self.name or "custom"
+        return (
+            f"{label} (C_r={self.c_r:g}, C_fm={self.c_fm:g}, "
+            f"C_fs={self.c_fs:g}, G_s={self.gain:g})"
+        )
+
+
+# Table 2: the six weight settings used in Fig. 5.
+TABLE2_PROFILES: Dict[str, PenaltyProfile] = {
+    "lt1-high-cr": PenaltyProfile(c_r=0.5, c_fm=0.1, c_fs=0.1, name="high C_r (<1)"),
+    "lt1-high-cfm": PenaltyProfile(c_r=0.1, c_fm=0.5, c_fs=0.1, name="high C_fm (<1)"),
+    "lt1-high-cfs": PenaltyProfile(c_r=0.1, c_fm=0.1, c_fs=0.5, name="high C_fs (<1)"),
+    "gt1-high-cr": PenaltyProfile(c_r=5.0, c_fm=1.0, c_fs=1.0, name="high C_r (>1)"),
+    "gt1-high-cfm": PenaltyProfile(c_r=1.0, c_fm=5.0, c_fs=1.0, name="high C_fm (>1)"),
+    "gt1-high-cfs": PenaltyProfile(c_r=1.0, c_fm=1.0, c_fs=5.0, name="high C_fs (>1)"),
+}
+
+
+class UsmAccumulator:
+    """Cumulative USM bookkeeping over a whole run (Eqs. 2–5)."""
+
+    def __init__(self, profile: PenaltyProfile) -> None:
+        self.profile = profile
+        self.counts: Dict[Outcome, int] = {outcome: 0 for outcome in Outcome}
+
+    def record(self, outcome: Outcome) -> None:
+        self.counts[outcome] += 1
+
+    @property
+    def total_queries(self) -> int:
+        return sum(self.counts.values())
+
+    def total_usm(self) -> float:
+        """System USM: the Eq. 4 sum of gains minus penalties."""
+        return sum(
+            self.profile.contribution(outcome) * count
+            for outcome, count in self.counts.items()
+        )
+
+    def average_usm(self) -> float:
+        """Average USM (Eq. 5); 0.0 before any query is recorded."""
+        total = self.total_queries
+        if not total:
+            return 0.0
+        return self.total_usm() / total
+
+    def ratios(self) -> Dict[Outcome, float]:
+        """Outcome ratios R_s / R_r / R_fm / R_fs (Section 4.5)."""
+        total = self.total_queries
+        if not total:
+            return {outcome: 0.0 for outcome in Outcome}
+        return {outcome: count / total for outcome, count in self.counts.items()}
+
+    def components(self) -> Dict[str, float]:
+        """The Eq. 5 decomposition: S, R, F_m, F_s (all non-negative)."""
+        ratios = self.ratios()
+        return {
+            "S": ratios[Outcome.SUCCESS] * self.profile.gain,
+            "R": ratios[Outcome.REJECTED] * self.profile.c_r,
+            "F_m": ratios[Outcome.DEADLINE_MISS] * self.profile.c_fm,
+            "F_s": ratios[Outcome.DATA_STALE] * self.profile.c_fs,
+        }
+
+    @classmethod
+    def from_counts(
+        cls,
+        profile: PenaltyProfile,
+        counts: Mapping[Outcome, int],
+    ) -> "UsmAccumulator":
+        """Build an accumulator from pre-counted outcomes."""
+        acc = cls(profile)
+        for outcome, count in counts.items():
+            acc.counts[outcome] += count
+        return acc
+
+
+class MixedUsmAccumulator:
+    """USM accounting for heterogeneous user preferences.
+
+    Section 3.1 assumes a single system-wide profile and notes the
+    framework "can be easily extended to support multiple preferences";
+    this accumulator is that extension's reporting side: each recorded
+    query carries its own :class:`PenaltyProfile` (falling back to a
+    default), and totals are available overall and per user class.
+    """
+
+    def __init__(self, default_profile: PenaltyProfile) -> None:
+        self.default_profile = default_profile
+        self._total_usm = 0.0
+        self._by_class: Dict[str, Dict] = {}
+
+    def record(
+        self,
+        outcome: Outcome,
+        profile: Optional[PenaltyProfile] = None,
+        user_class: str = "default",
+    ) -> None:
+        profile = profile or self.default_profile
+        contribution = profile.contribution(outcome)
+        self._total_usm += contribution
+        bucket = self._by_class.setdefault(
+            user_class, {"usm": 0.0, "count": 0, "counts": {o: 0 for o in Outcome}}
+        )
+        bucket["usm"] += contribution
+        bucket["count"] += 1
+        bucket["counts"][outcome] += 1
+
+    @property
+    def total_queries(self) -> int:
+        return sum(bucket["count"] for bucket in self._by_class.values())
+
+    def total_usm(self) -> float:
+        return self._total_usm
+
+    def average_usm(self) -> float:
+        total = self.total_queries
+        if not total:
+            return 0.0
+        return self._total_usm / total
+
+    def class_average_usm(self, user_class: str) -> float:
+        bucket = self._by_class.get(user_class)
+        if not bucket or not bucket["count"]:
+            return 0.0
+        return bucket["usm"] / bucket["count"]
+
+    def class_ratios(self, user_class: str) -> Dict[Outcome, float]:
+        bucket = self._by_class.get(user_class)
+        if not bucket or not bucket["count"]:
+            return {outcome: 0.0 for outcome in Outcome}
+        count = bucket["count"]
+        return {outcome: n / count for outcome, n in bucket["counts"].items()}
+
+    def classes(self):
+        return sorted(self._by_class)
+
+
+class UsmWindow:
+    """Recent-window USM signals for the feedback controllers.
+
+    Tracks outcomes within a sliding time window and answers the two
+    questions the LBC asks: the recent average USM (for drop-trigger
+    detection) and the recent cost components / outcome ratios (for the
+    Adaptive Allocation Algorithm).  Each event may carry its own
+    penalty profile (the multi-preference extension); events without
+    one use the window's default profile.
+    """
+
+    def __init__(self, profile: PenaltyProfile, window: float) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.profile = profile
+        self.window = window
+        self._events: deque = deque()  # (time, outcome, profile)
+
+    def record(
+        self,
+        now: float,
+        outcome: Outcome,
+        profile: Optional[PenaltyProfile] = None,
+    ) -> None:
+        self._events.append((now, outcome, profile or self.profile))
+
+    def _evict(self, now: float) -> None:
+        cutoff = now - self.window
+        while self._events and self._events[0][0] < cutoff:
+            self._events.popleft()
+
+    def sample_size(self, now: float) -> int:
+        self._evict(now)
+        return len(self._events)
+
+    def ratios(self, now: float) -> Dict[Outcome, float]:
+        """Windowed R_s / R_r / R_fm / R_fs (absent outcomes are 0)."""
+        self._evict(now)
+        result = {outcome: 0 for outcome in Outcome}
+        for _, outcome, _ in self._events:
+            result[outcome] += 1
+        total = len(self._events)
+        if not total:
+            return {outcome: 0.0 for outcome in Outcome}
+        return {outcome: count / total for outcome, count in result.items()}
+
+    def average_usm(self, now: float) -> Optional[float]:
+        """Windowed average USM, or None if the window is empty."""
+        self._evict(now)
+        if not self._events:
+            return None
+        total = sum(
+            profile.contribution(outcome) for _, outcome, profile in self._events
+        )
+        return total / len(self._events)
+
+    def cost_components(self, now: float) -> Dict[str, float]:
+        """Windowed R / F_m / F_s average costs (the Fig. 2 inputs),
+        using each event's own penalty weights."""
+        self._evict(now)
+        costs = {"R": 0.0, "F_m": 0.0, "F_s": 0.0}
+        if not self._events:
+            return costs
+        for _, outcome, profile in self._events:
+            if outcome is Outcome.REJECTED:
+                costs["R"] += profile.c_r
+            elif outcome is Outcome.DEADLINE_MISS:
+                costs["F_m"] += profile.c_fm
+            elif outcome is Outcome.DATA_STALE:
+                costs["F_s"] += profile.c_fs
+        total = len(self._events)
+        return {key: value / total for key, value in costs.items()}
+
+    def raw_failure_ratios(self, now: float) -> Dict[str, float]:
+        """The all-penalties-zero fallback of Fig. 2 (lines 2–3)."""
+        ratios = self.ratios(now)
+        return {
+            "R": ratios[Outcome.REJECTED],
+            "F_m": ratios[Outcome.DEADLINE_MISS],
+            "F_s": ratios[Outcome.DATA_STALE],
+        }

@@ -1,0 +1,50 @@
+"""The simulated web-database server substrate.
+
+Implements the mechanisms fixed by Section 3.1 of the paper: a single
+preemptive CPU, a dual-priority ready queue (updates above queries,
+EDF within each class), firm deadlines, lag-based freshness, and
+Two-Phase-Locking High-Priority (2PL-HP) concurrency control.
+"""
+
+from repro.db.freshness import (
+    DivergenceFreshness,
+    FreshnessMetric,
+    LagFreshness,
+    TimeFreshness,
+    query_freshness,
+)
+from repro.db.items import DataItem, ItemTable
+from repro.db.locks import LockManager, LockMode
+from repro.db.ready_queue import ReadyQueue
+from repro.db.server import Server, ServerConfig
+from repro.db.transactions import (
+    Outcome,
+    QueryRecord,
+    QueryTransaction,
+    TransactionState,
+    UpdateTransaction,
+)
+from repro.db.values import RandomWalkStream, ValueDivergenceFreshness, ValueTable
+
+__all__ = [
+    "DataItem",
+    "DivergenceFreshness",
+    "FreshnessMetric",
+    "ItemTable",
+    "LagFreshness",
+    "LockManager",
+    "LockMode",
+    "Outcome",
+    "QueryRecord",
+    "QueryTransaction",
+    "RandomWalkStream",
+    "ReadyQueue",
+    "Server",
+    "ServerConfig",
+    "TimeFreshness",
+    "TransactionState",
+    "UpdateTransaction",
+    "ValueDivergenceFreshness",
+    "ValueTable",
+    "query_freshness",
+]

@@ -1,0 +1,113 @@
+"""Freshness metrics.
+
+Section 2.2 classifies per-item freshness measures into *time-based*,
+*lag-based*, and *divergence-based* families and adopts the lag-based
+one (Eq. 1) because updates are periodic:
+
+    ``Qu(d_j) = 1 / (1 + Udrop_j)``
+
+Query freshness aggregates item freshness with a strict ``min`` over
+the accessed set ``D_i``.  The two alternative families are provided
+behind the same interface for the ablation experiments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.db.items import DataItem
+
+
+class FreshnessMetric:
+    """Interface: map a data item (at a point in time) to ``(0, 1]``."""
+
+    def item_freshness(self, item: DataItem, now: float) -> float:
+        """Freshness of ``item`` at simulated time ``now``."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Short human-readable name for reports."""
+        return type(self).__name__
+
+
+class LagFreshness(FreshnessMetric):
+    """The paper's metric (Eq. 1): ``1 / (1 + Udrop_j)``.
+
+    With the default 90 % freshness requirement, a single pending
+    update already fails a query (freshness 0.5 < 0.9) — which is what
+    makes update placement, not just update volume, matter.
+    """
+
+    def item_freshness(self, item: DataItem, now: float) -> float:
+        return 1.0 / (1.0 + item.udrop)
+
+    def describe(self) -> str:
+        return "lag (Eq. 1)"
+
+
+class TimeFreshness(FreshnessMetric):
+    """Time-based alternative: exponential decay in the age of the value.
+
+    ``freshness = exp(-age / half_life * ln 2)`` where age is measured
+    since the last *applied* update, but only once at least one arrival
+    is pending (a value with no pending update is perfectly fresh no
+    matter how old — nothing newer exists).
+    """
+
+    def __init__(self, half_life: float) -> None:
+        if half_life <= 0:
+            raise ValueError("half_life must be positive")
+        self.half_life = half_life
+
+    def item_freshness(self, item: DataItem, now: float) -> float:
+        if item.udrop == 0:
+            return 1.0
+        age = max(0.0, now - item.last_applied_time)
+        return math.exp(-age / self.half_life * math.log(2.0))
+
+    def describe(self) -> str:
+        return f"time (half-life {self.half_life:g}s)"
+
+
+class DivergenceFreshness(FreshnessMetric):
+    """Divergence-based alternative: value drift per unapplied update.
+
+    Models the stored value diverging from the source by ``drift`` per
+    pending arrival: ``freshness = max(0, 1 - drift * Udrop)``, floored
+    at a tiny positive value so the range stays ``(0, 1]``.
+    """
+
+    _FLOOR = 1e-9
+
+    def __init__(self, drift_per_update: float = 0.1) -> None:
+        if drift_per_update <= 0:
+            raise ValueError("drift_per_update must be positive")
+        self.drift_per_update = drift_per_update
+
+    def item_freshness(self, item: DataItem, now: float) -> float:
+        return max(self._FLOOR, 1.0 - self.drift_per_update * item.udrop)
+
+    def describe(self) -> str:
+        return f"divergence (drift {self.drift_per_update:g}/update)"
+
+
+def query_freshness(
+    items: Iterable[DataItem],
+    now: float,
+    metric: FreshnessMetric,
+) -> float:
+    """Aggregate item freshness for a query: strict minimum (Eq. 1).
+
+    Raises:
+        ValueError: If ``items`` is empty — query freshness over no
+            items is meaningless.
+    """
+    freshest = None
+    for item in items:
+        value = metric.item_freshness(item, now)
+        if freshest is None or value < freshest:
+            freshest = value
+    if freshest is None:
+        raise ValueError("query accesses no items")
+    return freshest

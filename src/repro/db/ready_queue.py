@@ -1,0 +1,105 @@
+"""The dual-priority ready queue.
+
+Paper Section 3.1: "The dispatching discipline adopted in our system is
+a dual-priority queue: updates have higher priorities than queries,
+whereas within each group, EDF (Earliest Deadline First) is applied."
+
+Implementation: two binary heaps keyed by ``(deadline, txn_id)`` with
+lazy deletion (a live-set membership check on pop), so removal on abort
+is O(1) and pop is amortized O(log n).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple, Union
+
+from repro.db.transactions import QueryTransaction, UpdateTransaction
+
+Transaction = Union[QueryTransaction, UpdateTransaction]
+
+
+class ReadyQueue:
+    """Updates strictly above queries; EDF within each class."""
+
+    def __init__(self) -> None:
+        self._update_heap: List[Tuple[float, int, UpdateTransaction]] = []
+        self._query_heap: List[Tuple[float, int, QueryTransaction]] = []
+        self._live: set = set()
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __contains__(self, txn: Transaction) -> bool:
+        return txn.txn_id in self._live
+
+    def push(self, txn: Transaction) -> None:
+        """Enqueue a transaction.  Re-pushing a queued txn is an error."""
+        if txn.txn_id in self._live:
+            raise ValueError(f"txn {txn.txn_id} is already in the ready queue")
+        self._live.add(txn.txn_id)
+        entry = (txn.deadline, txn.txn_id, txn)
+        if isinstance(txn, UpdateTransaction):
+            heapq.heappush(self._update_heap, entry)
+        else:
+            heapq.heappush(self._query_heap, entry)
+
+    def remove(self, txn: Transaction) -> None:
+        """Lazily remove a transaction (e.g. on deadline abort)."""
+        self._live.discard(txn.txn_id)
+
+    def peek(self) -> Optional[Transaction]:
+        """Highest-priority ready transaction without removing it."""
+        update = self._peek_heap(self._update_heap)
+        if update is not None:
+            return update
+        return self._peek_heap(self._query_heap)
+
+    def pop(self) -> Optional[Transaction]:
+        """Remove and return the highest-priority ready transaction."""
+        txn = self.peek()
+        if txn is None:
+            return None
+        self._live.discard(txn.txn_id)
+        return txn
+
+    def _peek_heap(self, heap: List[Tuple[float, int, Transaction]]) -> Optional[Transaction]:
+        while heap:
+            _, txn_id, txn = heap[0]
+            if txn_id in self._live:
+                return txn
+            heapq.heappop(heap)
+        return None
+
+    # ------------------------------------------------------------------
+    # backlog inspection (used by admission control, O(queue length))
+    # ------------------------------------------------------------------
+
+    def ready_updates(self) -> List[UpdateTransaction]:
+        """Live queued updates (unordered)."""
+        return [txn for _, txn_id, txn in self._update_heap if txn_id in self._live]
+
+    def ready_queries(self) -> List[QueryTransaction]:
+        """Live queued queries (unordered)."""
+        return [txn for _, txn_id, txn in self._query_heap if txn_id in self._live]
+
+    def update_backlog(self) -> float:
+        """Total remaining work of queued updates (seconds)."""
+        return sum(txn.remaining for txn in self.ready_updates())
+
+    def query_backlog_before(self, deadline: float) -> float:
+        """Total remaining work of queued queries with deadline < ``deadline``."""
+        return sum(
+            txn.remaining for txn in self.ready_queries() if txn.deadline < deadline
+        )
+
+    def compact(self) -> None:
+        """Physically drop dead heap entries (occasionally, to bound memory)."""
+        self._update_heap = [
+            entry for entry in self._update_heap if entry[1] in self._live
+        ]
+        heapq.heapify(self._update_heap)
+        self._query_heap = [
+            entry for entry in self._query_heap if entry[1] in self._live
+        ]
+        heapq.heapify(self._query_heap)

@@ -1,0 +1,562 @@
+"""The simulated web-database server.
+
+A single preemptive CPU executes two transaction classes under the
+mechanisms fixed by paper Section 3.1:
+
+* dual-priority ready queue — updates above queries, EDF within a class
+  (:mod:`repro.db.ready_queue`);
+* firm deadlines — an admitted query still unfinished at its absolute
+  deadline is aborted and counted as a Deadline-Missed Failure;
+* 2PL-HP concurrency control (:mod:`repro.db.locks`): queries read-lock
+  every item they access for their full run, updates write-lock their
+  single item; a higher-priority requester aborts (restarts)
+  lower-priority conflicting holders;
+* lag-based freshness checked at commit time: a query that finishes in
+  time but whose minimum item freshness is below its requirement is a
+  Data-Stale Failure.
+
+The server is mechanism only.  All decisions — admit/reject, apply/drop,
+period modulation — are delegated to a
+:class:`repro.db.policy_api.ServerPolicy`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Set, Union
+
+from repro.db.freshness import FreshnessMetric, LagFreshness, query_freshness
+from repro.db.items import DataItem, ItemTable
+from repro.db.locks import LockManager, LockMode, LockStatus
+from repro.db.policy_api import ServerPolicy
+from repro.db.ready_queue import ReadyQueue
+from repro.db.transactions import (
+    Outcome,
+    QueryRecord,
+    QueryTransaction,
+    TransactionState,
+    UpdateTransaction,
+)
+from repro.sim.engine import Simulator, Timer
+
+Transaction = Union[QueryTransaction, UpdateTransaction]
+
+# Same-instant event ordering: deadline aborts fire before arrivals,
+# arrivals before completions scheduled at the identical timestamp.
+DEADLINE_EVENT_PRIORITY = -2
+ARRIVAL_EVENT_PRIORITY = -1
+COMPLETION_EVENT_PRIORITY = 0
+CONTROL_EVENT_PRIORITY = 1
+
+
+@dataclasses.dataclass
+class ServerConfig:
+    """Tunables of the server mechanism (not of any policy).
+
+    Attributes:
+        freshness_metric: Per-item freshness measure; the paper's
+            lag-based Eq. 1 by default.
+        restart_aborted_queries: 2PL-HP victims restart from scratch
+            (True, the paper's behaviour) or die immediately (False,
+            an ablation).
+    """
+
+    freshness_metric: FreshnessMetric = dataclasses.field(default_factory=LagFreshness)
+    restart_aborted_queries: bool = True
+
+
+class Server:
+    """Preemptive single-CPU web-database server.
+
+    Drive it by calling :meth:`submit_query` and
+    :meth:`source_update_arrival` from events scheduled on the shared
+    :class:`~repro.sim.engine.Simulator` (the experiment runner does
+    this from workload traces).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        items: ItemTable,
+        policy: ServerPolicy,
+        config: Optional[ServerConfig] = None,
+    ) -> None:
+        self.sim = sim
+        self.items = items
+        self.policy = policy
+        self.config = config or ServerConfig()
+
+        self.ready = ReadyQueue()
+        self.locks = LockManager()
+
+        self._running: Optional[Transaction] = None
+        self._completion_timer: Optional[Timer] = None
+        self._blocked: Dict[int, Transaction] = {}
+        self._deadline_timers: Dict[int, Timer] = {}
+
+        # ODU-style refresh dependencies.
+        self._refresh_waiters: Dict[int, Set[int]] = {}  # update id -> query ids
+        self._query_refreshes: Dict[int, Set[int]] = {}  # query id -> update ids
+        self._live_queries: Dict[int, QueryTransaction] = {}
+
+        self._next_txn_id = 1
+
+        # Outcome bookkeeping.
+        self.records: List[QueryRecord] = []
+        self.outcome_counts: Dict[Outcome, int] = {outcome: 0 for outcome in Outcome}
+        self.queries_submitted = 0
+        self.updates_enqueued = 0
+
+        # CPU accounting (per class), for utilization signals.
+        self._busy_query = 0.0
+        self._busy_update = 0.0
+
+        policy.bind(self)
+
+    # ------------------------------------------------------------------
+    # public API: workload entry points
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def next_txn_id(self) -> int:
+        """Allocate a fresh transaction id (monotonically increasing)."""
+        txn_id = self._next_txn_id
+        self._next_txn_id += 1
+        return txn_id
+
+    def submit_query(self, query: QueryTransaction) -> None:
+        """A user query arrives: admission control, then enqueue."""
+        if query.state is not TransactionState.PENDING:
+            raise ValueError(f"query {query.txn_id} was already submitted")
+        self.queries_submitted += 1
+        for item_id in query.items:
+            self.items[item_id].record_query_access()
+
+        if not self.policy.admit_query(query, self):
+            query.state = TransactionState.ABORTED
+            self._finalize_query(query, Outcome.REJECTED, freshness=None)
+            return
+
+        self._live_queries[query.txn_id] = query
+        self.policy.on_query_admitted(query, self)
+        self._deadline_timers[query.txn_id] = self.sim.schedule(
+            query.deadline, lambda q=query: self._deadline_abort(q),
+            priority=DEADLINE_EVENT_PRIORITY,
+        )
+
+        if self._query_refreshes.get(query.txn_id):
+            query.state = TransactionState.BLOCKED
+            self._blocked[query.txn_id] = query
+        else:
+            query.state = TransactionState.READY
+            self.ready.push(query)
+        self._dispatch()
+
+    def source_update_arrival(self, item_id: int) -> None:
+        """A periodic source update for ``item_id`` arrives.
+
+        The policy decides whether the server spends CPU applying it;
+        a dropped arrival still advances the item's staleness lag.
+        """
+        item = self.items[item_id]
+        item.record_arrival(self.now)
+        if self.policy.should_apply_update(item, self):
+            self._enqueue_update(item, on_demand=False)
+            self._dispatch()
+        else:
+            item.record_drop()
+
+    def spawn_refresh(self, item: DataItem, query: QueryTransaction) -> UpdateTransaction:
+        """Issue an on-demand refresh of ``item`` on behalf of ``query``
+        (the ODU mechanism).
+
+        The query will not start executing until the refresh commits.
+        Must be called from ``on_query_admitted`` (before the query is
+        enqueued).
+        """
+        update = self._enqueue_update(item, on_demand=True)
+        self._refresh_waiters.setdefault(update.txn_id, set()).add(query.txn_id)
+        self._query_refreshes.setdefault(query.txn_id, set()).add(update.txn_id)
+        return update
+
+    def attach_refresh(self, update: UpdateTransaction, query: QueryTransaction) -> bool:
+        """Make ``query`` wait on an already-pending refresh instead of
+        spawning a duplicate (ODU deduplication).
+
+        Returns False (no dependency added) when the refresh already
+        finished.  The pending refresh will install the freshest
+        arrival known at this instant.
+        """
+        if update.is_finished:
+            return False
+        update.seqno = max(update.seqno, self.items[update.item_id].arrivals)
+        self._refresh_waiters.setdefault(update.txn_id, set()).add(query.txn_id)
+        self._query_refreshes.setdefault(query.txn_id, set()).add(update.txn_id)
+        return True
+
+    def _enqueue_update(self, item: DataItem, on_demand: bool) -> UpdateTransaction:
+        update = UpdateTransaction(
+            txn_id=self.next_txn_id(),
+            arrival=self.now,
+            exec_time=item.update_exec_time,
+            item_id=item.item_id,
+            seqno=item.arrivals,
+            period=item.current_period,
+            on_demand=on_demand,
+        )
+        update.state = TransactionState.READY
+        self.updates_enqueued += 1
+        self.ready.push(update)
+        return update
+
+    # ------------------------------------------------------------------
+    # accessors used by policies
+    # ------------------------------------------------------------------
+
+    def running_transaction(self) -> Optional[Transaction]:
+        return self._running
+
+    def running_remaining(self) -> float:
+        """Remaining work of the transaction on the CPU, right now."""
+        if self._running is None:
+            return 0.0
+        started = self._running.run_started_at
+        elapsed = 0.0 if started is None else self.now - started
+        return max(0.0, self._running.remaining - elapsed)
+
+    def busy_time(self) -> float:
+        """Total CPU busy time so far (both classes, including the
+        in-progress slice of the running transaction)."""
+        total = self._busy_query + self._busy_update
+        if self._running is not None and self._running.run_started_at is not None:
+            total += self.now - self._running.run_started_at
+        return total
+
+    def busy_time_by_class(self) -> Dict[str, float]:
+        """CPU busy time split by transaction class."""
+        query_busy = self._busy_query
+        update_busy = self._busy_update
+        if self._running is not None and self._running.run_started_at is not None:
+            slice_ = self.now - self._running.run_started_at
+            if isinstance(self._running, UpdateTransaction):
+                update_busy += slice_
+            else:
+                query_busy += slice_
+        return {"query": query_busy, "update": update_busy}
+
+    def item_freshness(self, item_id: int) -> float:
+        """Current freshness of one item under the configured metric."""
+        return self.config.freshness_metric.item_freshness(self.items[item_id], self.now)
+
+    # ------------------------------------------------------------------
+    # CPU dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        """Give the CPU to the highest-priority runnable transaction,
+        preempting if necessary.  Transactions that block on locks fall
+        out of the loop and the next candidate is tried."""
+        while True:
+            candidate = self.ready.peek()
+            if candidate is None:
+                return
+            if self._running is not None:
+                if candidate.priority_key() < self._running.priority_key():
+                    self._preempt(self._running)
+                else:
+                    return
+            txn = self.ready.pop()
+            assert txn is not None
+            # Whether the candidate started or blocked, go around again:
+            # lock-conflict aborts during acquisition may have readied a
+            # transaction that outranks whatever is now on the CPU.
+            self._try_start(txn)
+
+    def _try_start(self, txn: Transaction) -> bool:
+        """Acquire ``txn``'s locks and put it on the CPU.
+
+        Returns False if the transaction blocked on a lock or is waiting
+        for on-demand refreshes (the caller then tries the next
+        candidate)."""
+        if isinstance(txn, UpdateTransaction):
+            needed = [txn.item_id]
+            mode = LockMode.WRITE
+        else:
+            if self._park_for_refresh(txn):
+                return False
+            needed = list(txn.items)
+            mode = LockMode.READ
+
+        for item_id in needed:
+            if self.locks.holds(txn, item_id):
+                continue
+            while True:
+                result = self.locks.request(txn, item_id, mode)
+                if result.status is LockStatus.GRANTED:
+                    break
+                if result.status is LockStatus.BLOCKED:
+                    txn.state = TransactionState.BLOCKED
+                    self._blocked[txn.txn_id] = txn
+                    return False
+                for victim in result.victims:
+                    self._abort_restart(victim)
+
+        self._run(txn)
+        return True
+
+    def _park_for_refresh(self, query: QueryTransaction) -> bool:
+        """Give an on-demand policy the chance to refresh stale items
+        before the query reads.  Returns True when the query was parked
+        (it re-enters the ready queue when its refreshes commit)."""
+        if not any(self.items[item_id].udrop > 0 for item_id in query.items):
+            return False
+        if not self.policy.on_query_stale_at_read(query, self):
+            return False
+        if not self._query_refreshes.get(query.txn_id):
+            return False  # policy asked to wait but spawned nothing
+        query.state = TransactionState.BLOCKED
+        self._blocked[query.txn_id] = query
+        # A parked query must not sit on read locks: the refresh needs a
+        # write lock on the very items it is waiting on.
+        granted = self.locks.release_all(query)
+        for grantee in granted:
+            self._continue_acquisition(grantee)
+        return True
+
+    def _continue_acquisition(self, txn: Transaction) -> None:
+        """A blocked transaction was granted a lock: try to finish its
+        lock set and, if complete, return it to the ready queue."""
+        if txn.is_finished:
+            return
+        if isinstance(txn, UpdateTransaction):
+            needed = [txn.item_id]
+            mode = LockMode.WRITE
+        else:
+            needed = list(txn.items)
+            mode = LockMode.READ
+
+        for item_id in needed:
+            if self.locks.holds(txn, item_id):
+                continue
+            while True:
+                result = self.locks.request(txn, item_id, mode)
+                if result.status is LockStatus.GRANTED:
+                    break
+                if result.status is LockStatus.BLOCKED:
+                    txn.state = TransactionState.BLOCKED
+                    self._blocked[txn.txn_id] = txn
+                    return
+                for victim in result.victims:
+                    self._abort_restart(victim)
+
+        self._blocked.pop(txn.txn_id, None)
+        txn.state = TransactionState.READY
+        self.ready.push(txn)
+
+    def _run(self, txn: Transaction) -> None:
+        txn.state = TransactionState.RUNNING
+        txn.run_started_at = self.now
+        if isinstance(txn, QueryTransaction) and txn.observed_freshness is None:
+            # The query reads its items now (under read locks, no update
+            # can commit on them until it finishes or is aborted); the
+            # freshness it observes is the freshness of its result.
+            txn.observed_freshness = query_freshness(
+                (self.items[item_id] for item_id in txn.items),
+                self.now,
+                self.config.freshness_metric,
+            )
+        self._running = txn
+        self._completion_timer = self.sim.schedule_after(
+            txn.remaining,
+            lambda t=txn: self._complete(t),
+            priority=COMPLETION_EVENT_PRIORITY,
+        )
+
+    def _preempt(self, txn: Transaction) -> None:
+        """Take ``txn`` off the CPU, crediting the work done so far."""
+        assert txn is self._running
+        if self._completion_timer is not None:
+            self._completion_timer.cancel()
+            self._completion_timer = None
+        started = txn.run_started_at
+        elapsed = 0.0 if started is None else self.now - started
+        self._credit_busy(txn, elapsed)
+        txn.remaining = max(0.0, txn.remaining - elapsed)
+        txn.run_started_at = None
+        txn.state = TransactionState.READY
+        self._running = None
+        self.ready.push(txn)
+
+    def _credit_busy(self, txn: Transaction, elapsed: float) -> None:
+        if isinstance(txn, UpdateTransaction):
+            self._busy_update += elapsed
+        else:
+            self._busy_query += elapsed
+
+    # ------------------------------------------------------------------
+    # completion, aborts
+    # ------------------------------------------------------------------
+
+    def _complete(self, txn: Transaction) -> None:
+        assert txn is self._running
+        started = txn.run_started_at
+        elapsed = 0.0 if started is None else self.now - started
+        self._credit_busy(txn, elapsed)
+        txn.remaining = 0.0
+        txn.run_started_at = None
+        txn.state = TransactionState.COMMITTED
+        self._running = None
+        self._completion_timer = None
+
+        granted = self.locks.release_all(txn)
+
+        if isinstance(txn, UpdateTransaction):
+            self._commit_update(txn)
+        else:
+            self._commit_query(txn)
+
+        for grantee in granted:
+            self._continue_acquisition(grantee)
+        self._dispatch()
+
+    def _commit_update(self, update: UpdateTransaction) -> None:
+        item = self.items[update.item_id]
+        item.apply_update(update.seqno, self.now)
+        item.last_execution_started = self.now - update.exec_time
+        self.policy.on_update_applied(update, item, self)
+
+        for query_id in self._refresh_waiters.pop(update.txn_id, set()):
+            pending = self._query_refreshes.get(query_id)
+            if pending is None:
+                continue
+            pending.discard(update.txn_id)
+            query = self._live_queries.get(query_id)
+            if query is None or query.is_finished:
+                continue
+            if not pending and query.state is TransactionState.BLOCKED:
+                self._blocked.pop(query_id, None)
+                query.state = TransactionState.READY
+                self.ready.push(query)
+
+    def _commit_query(self, query: QueryTransaction) -> None:
+        timer = self._deadline_timers.pop(query.txn_id, None)
+        if timer is not None:
+            timer.cancel()
+        freshness = query.observed_freshness
+        if freshness is None:  # defensive: commit without a run snapshot
+            freshness = query_freshness(
+                (self.items[item_id] for item_id in query.items),
+                self.now,
+                self.config.freshness_metric,
+            )
+        if freshness + 1e-12 >= query.freshness_req:
+            outcome = Outcome.SUCCESS
+        else:
+            outcome = Outcome.DATA_STALE
+        self._finalize_query(query, outcome, freshness)
+
+    def _deadline_abort(self, query: QueryTransaction) -> None:
+        """Firm deadline: the query dies wherever it is."""
+        if query.is_finished:
+            return
+        self._detach(query)
+        query.state = TransactionState.ABORTED
+        granted = self.locks.release_all(query)
+        self._finalize_query(query, Outcome.DEADLINE_MISS, freshness=None)
+        for grantee in granted:
+            self._continue_acquisition(grantee)
+        self._dispatch()
+
+    def _abort_restart(self, victim: Transaction) -> None:
+        """2PL-HP abort: the victim loses its locks and progress.
+
+        Queries restart from scratch (their firm deadline still
+        applies); updates re-enter the ready queue.  With
+        ``restart_aborted_queries=False`` a victim query instead dies
+        immediately as a deadline miss (ablation).
+        """
+        self._detach(victim)
+        granted = self.locks.release_all(victim)
+        victim.remaining = victim.exec_time
+        victim.run_started_at = None
+
+        if isinstance(victim, QueryTransaction):
+            victim.restarts += 1
+            victim.observed_freshness = None  # the restart re-reads
+            if self.config.restart_aborted_queries and self.now < victim.deadline:
+                victim.state = TransactionState.READY
+                self.ready.push(victim)
+            else:
+                timer = self._deadline_timers.pop(victim.txn_id, None)
+                if timer is not None:
+                    timer.cancel()
+                victim.state = TransactionState.ABORTED
+                self._finalize_query(victim, Outcome.DEADLINE_MISS, freshness=None)
+        else:
+            victim.state = TransactionState.READY
+            self.ready.push(victim)
+
+        for grantee in granted:
+            self._continue_acquisition(grantee)
+
+    def _detach(self, txn: Transaction) -> None:
+        """Remove ``txn`` from the CPU, the ready queue, or the blocked
+        set — wherever it currently lives."""
+        if txn is self._running:
+            if self._completion_timer is not None:
+                self._completion_timer.cancel()
+                self._completion_timer = None
+            started = txn.run_started_at
+            elapsed = 0.0 if started is None else self.now - started
+            self._credit_busy(txn, elapsed)
+            txn.remaining = max(0.0, txn.remaining - elapsed)
+            txn.run_started_at = None
+            self._running = None
+        elif txn in self.ready:
+            self.ready.remove(txn)
+        else:
+            self._blocked.pop(txn.txn_id, None)
+            self.locks.cancel_wait(txn)
+
+    def _finalize_query(
+        self,
+        query: QueryTransaction,
+        outcome: Outcome,
+        freshness: Optional[float],
+    ) -> None:
+        timer = self._deadline_timers.pop(query.txn_id, None)
+        if timer is not None:
+            timer.cancel()
+        # Drop any outstanding refresh dependencies.
+        for update_id in self._query_refreshes.pop(query.txn_id, set()):
+            waiters = self._refresh_waiters.get(update_id)
+            if waiters is not None:
+                waiters.discard(query.txn_id)
+        self._live_queries.pop(query.txn_id, None)
+
+        if outcome is not Outcome.REJECTED:
+            query.state = (
+                TransactionState.COMMITTED
+                if outcome in (Outcome.SUCCESS, Outcome.DATA_STALE)
+                else TransactionState.ABORTED
+            )
+        record = QueryRecord(
+            txn_id=query.txn_id,
+            arrival=query.arrival,
+            items=query.items,
+            exec_time=query.exec_time,
+            relative_deadline=query.relative_deadline,
+            freshness_req=query.freshness_req,
+            outcome=outcome,
+            finish_time=self.now,
+            freshness=freshness,
+            restarts=query.restarts,
+            profile=query.profile,
+            user_class=query.user_class,
+        )
+        self.records.append(record)
+        self.outcome_counts[outcome] += 1
+        self.policy.on_query_outcome(record, self)

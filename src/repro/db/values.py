@@ -1,0 +1,122 @@
+"""Simulated item values: what the update stream actually carries.
+
+The core simulation tracks update *sequence numbers* — enough for the
+paper's lag-based freshness.  This module attaches actual values to
+those sequence numbers so that divergence-based freshness (the third
+family of Section 2.2) can be computed from real value distance rather
+than a per-update drift proxy: each item's source follows a random walk
+(the conventional stand-in for price-like signals), arrival ``k``
+carries ``value_at(k)``, and the stored value is whatever the last
+*applied* arrival carried.
+
+Everything is deterministic given the seed, and values are computed
+lazily and cached, so attaching a :class:`ValueTable` costs nothing for
+items whose values are never inspected.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.db.freshness import FreshnessMetric
+from repro.db.items import DataItem
+from repro.sim.rng import derive_seed
+
+
+class RandomWalkStream:
+    """A Gaussian random walk: ``value_at(k) = initial + sum of k steps``.
+
+    ``value_at(0)`` is the initial (pre-first-update) value.  Steps are
+    generated lazily from a private seeded generator, so any prefix of
+    the walk is reproducible regardless of query order.
+    """
+
+    def __init__(self, initial: float, step_sigma: float, seed: int) -> None:
+        if step_sigma < 0:
+            raise ValueError("step_sigma must be non-negative")
+        self.initial = initial
+        self.step_sigma = step_sigma
+        self._rng = random.Random(seed)
+        self._values: List[float] = [initial]
+
+    def value_at(self, seqno: int) -> float:
+        """The source value carried by arrival ``seqno`` (0 = initial)."""
+        if seqno < 0:
+            raise ValueError("seqno must be non-negative")
+        while len(self._values) <= seqno:
+            self._values.append(
+                self._values[-1] + self._rng.gauss(0.0, self.step_sigma)
+            )
+        return self._values[seqno]
+
+
+class ValueTable:
+    """Per-item value streams, keyed by item id."""
+
+    def __init__(
+        self,
+        n_items: int,
+        seed: int,
+        initial: float = 100.0,
+        step_sigma: float = 1.0,
+    ) -> None:
+        if n_items <= 0:
+            raise ValueError("n_items must be positive")
+        self.n_items = n_items
+        self.seed = seed
+        self.initial = initial
+        self.step_sigma = step_sigma
+        self._streams: Dict[int, RandomWalkStream] = {}
+
+    def stream(self, item_id: int) -> RandomWalkStream:
+        if not 0 <= item_id < self.n_items:
+            raise IndexError(f"item {item_id} out of range [0, {self.n_items})")
+        if item_id not in self._streams:
+            self._streams[item_id] = RandomWalkStream(
+                initial=self.initial,
+                step_sigma=self.step_sigma,
+                seed=derive_seed(self.seed, f"value-stream-{item_id}"),
+            )
+        return self._streams[item_id]
+
+    def stored_value(self, item: DataItem) -> float:
+        """The value the server currently holds for ``item`` (what the
+        last applied arrival carried)."""
+        return self.stream(item.item_id).value_at(item.applied_seq)
+
+    def source_value(self, item: DataItem) -> float:
+        """The freshest value available at the source (what the newest
+        arrival carried)."""
+        return self.stream(item.item_id).value_at(item.arrivals)
+
+    def divergence(self, item: DataItem) -> float:
+        """Absolute stored-vs-source value distance."""
+        return abs(self.source_value(item) - self.stored_value(item))
+
+
+class ValueDivergenceFreshness(FreshnessMetric):
+    """Divergence-based freshness from *actual* value distance.
+
+    ``freshness = max(floor, 1 - |v_source - v_stored| / scale)``: a
+    stored value within ``scale`` of the source is partially fresh, one
+    further away is fully stale.  Unlike
+    :class:`~repro.db.freshness.DivergenceFreshness` (a drift-per-drop
+    proxy), two dropped updates that happen to cancel out leave the
+    item fresh — the behaviour value-divergence semantics promise.
+    """
+
+    _FLOOR = 1e-9
+
+    def __init__(self, values: ValueTable, scale: float) -> None:
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.values = values
+        self.scale = scale
+
+    def item_freshness(self, item: DataItem, now: float) -> float:
+        gap = self.values.divergence(item)
+        return max(self._FLOOR, 1.0 - gap / self.scale)
+
+    def describe(self) -> str:
+        return f"value-divergence (scale {self.scale:g})"

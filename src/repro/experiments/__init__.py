@@ -1,0 +1,29 @@
+"""Experiment harness: regenerates every table and figure of the
+paper's evaluation (Section 4).
+
+* :mod:`repro.experiments.config` — experiment configuration and scales.
+* :mod:`repro.experiments.runner` — run one configured simulation.
+* :mod:`repro.experiments.sweep` — grids over traces × policies × profiles.
+* :mod:`repro.experiments.tables` — Table 1 and Table 2.
+* :mod:`repro.experiments.figures` — Figures 3, 4, 5, and 6.
+* :mod:`repro.experiments.report` — ASCII rendering helpers.
+"""
+
+from repro.experiments.config import (
+    SCALES,
+    ExperimentConfig,
+    ExperimentScale,
+    build_experiment,
+)
+from repro.experiments.runner import SimulationReport, run_experiment
+from repro.experiments.sweep import run_grid
+
+__all__ = [
+    "SCALES",
+    "ExperimentConfig",
+    "ExperimentScale",
+    "SimulationReport",
+    "build_experiment",
+    "run_experiment",
+    "run_grid",
+]

@@ -1,0 +1,205 @@
+"""Command-line entry point: regenerate any table or figure, or run a
+single policy and print a full dossier.
+
+Usage::
+
+    python -m repro.experiments table1 --scale small
+    python -m repro.experiments fig4 --scale paper --seed 7
+    python -m repro.experiments all --scale small
+    python -m repro.experiments run --policy unit --trace med-unif
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.config import POLICIES, SCALES
+from repro.experiments.figures import (
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    render_figure3,
+    render_figure4,
+    render_figure5,
+    render_figure6,
+)
+from repro.experiments.tables import render_table1, render_table2, table1
+from repro.workload.updates import STANDARD_UPDATE_TRACES
+
+TARGETS = ("table1", "table2", "fig3", "fig4", "fig5", "fig6", "all", "run")
+
+
+def _run_dossier(args, scale) -> None:
+    """Run one policy and print outcomes, latency, and a timeline."""
+    from repro.analysis.latency import latency_summary
+    from repro.analysis.timeline import TimelineProbe
+    from repro.db.transactions import Outcome, QueryTransaction
+    from repro.db.server import ARRIVAL_EVENT_PRIORITY, Server, ServerConfig
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.report import ascii_table
+    from repro.experiments.runner import (
+        build_workload,
+        item_table_from_trace,
+        make_policy,
+    )
+    from repro.sim.engine import Simulator
+    from repro.sim.rng import RandomStreams
+
+    config = ExperimentConfig(
+        policy=args.policy, update_trace=args.trace, seed=args.seed, scale=scale
+    )
+    streams = RandomStreams(config.seed)
+    query_trace, update_trace = build_workload(config, streams)
+    sim = Simulator()
+    items = item_table_from_trace(update_trace)
+    policy = make_policy(config, streams)
+    server = Server(sim, items, policy, ServerConfig())
+    for spec in query_trace.queries:
+        txn = QueryTransaction(
+            txn_id=server.next_txn_id(),
+            arrival=spec.arrival,
+            exec_time=spec.exec_time,
+            items=spec.items,
+            relative_deadline=spec.relative_deadline,
+            freshness_req=spec.freshness_req,
+        )
+        sim.schedule(
+            spec.arrival, lambda q=txn: server.submit_query(q),
+            priority=ARRIVAL_EVENT_PRIORITY,
+        )
+    for arrival, item_id in update_trace.arrival_events():
+        sim.schedule(
+            arrival, lambda i=item_id: server.source_update_arrival(i),
+            priority=ARRIVAL_EVENT_PRIORITY,
+        )
+    probe = TimelineProbe(
+        server, interval=scale.horizon / 10.0, horizon=scale.horizon
+    )
+    probe.start()
+    sim.run(until=scale.horizon * 1.2 + 10.0)
+
+    total = server.queries_submitted
+    counts = server.outcome_counts
+    print(
+        f"{policy.describe()} on {args.trace} ({args.scale} scale, seed {args.seed}): "
+        f"{total} queries"
+    )
+    print(
+        ascii_table(
+            ["outcome", "count", "ratio"],
+            [[o.value, counts[o], f"{counts[o] / total:.3f}"] for o in Outcome],
+            title="Outcomes",
+        )
+    )
+    summaries = latency_summary(server.records)
+    rows = []
+    for key, summary in summaries.items():
+        rows.append(
+            [
+                key.value if key is not None else "(all finished)",
+                summary.count,
+                f"{summary.mean * 1000:.1f}",
+                f"{summary.p50 * 1000:.1f}",
+                f"{summary.p90 * 1000:.1f}",
+                f"{summary.p99 * 1000:.1f}",
+            ]
+        )
+    print()
+    print(
+        ascii_table(
+            ["class", "n", "mean ms", "p50 ms", "p90 ms", "p99 ms"],
+            rows,
+            title="Response times",
+        )
+    )
+    print()
+    timeline_rows = [
+        [
+            f"{s.time:.0f}",
+            s.ready_queries,
+            s.ready_updates,
+            f"{s.utilization_so_far:.2f}",
+            s.outcomes.get(Outcome.SUCCESS, 0),
+            "" if s.c_flex is None else f"{s.c_flex:.3f}",
+            "" if s.degraded_items is None else s.degraded_items,
+        ]
+        for s in probe.timeline.samples
+    ]
+    print(
+        ascii_table(
+            ["t(s)", "q-queue", "u-queue", "util", "ok", "C_flex", "degraded"],
+            timeline_rows,
+            title="Timeline",
+        )
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("target", choices=TARGETS)
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="small",
+        help="workload scale preset (default: small)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--replications",
+        type=int,
+        default=1,
+        help="average fig4 over this many seeds",
+    )
+    parser.add_argument(
+        "--progress", action="store_true", help="print per-run progress lines"
+    )
+    parser.add_argument(
+        "--policy", choices=POLICIES, default="unit", help="for `run`"
+    )
+    parser.add_argument(
+        "--trace",
+        choices=sorted(STANDARD_UPDATE_TRACES),
+        default="med-unif",
+        help="for `run`",
+    )
+    args = parser.parse_args(argv)
+    scale = SCALES[args.scale]
+
+    if args.target == "run":
+        _run_dossier(args, scale)
+        return 0
+
+    targets = TARGETS[:-2] if args.target == "all" else (args.target,)
+    for target in targets:
+        if target == "table1":
+            print(render_table1(table1(scale, seed=args.seed)))
+        elif target == "table2":
+            print(render_table2())
+        elif target == "fig3":
+            print(render_figure3(figure3(scale, seed=args.seed)))
+        elif target == "fig4":
+            print(
+                render_figure4(
+                    figure4(
+                        scale,
+                        seed=args.seed,
+                        progress=args.progress,
+                        replications=args.replications,
+                    )
+                )
+            )
+        elif target == "fig5":
+            print(render_figure5(figure5(scale, seed=args.seed, progress=args.progress)))
+        elif target == "fig6":
+            print(render_figure6(figure6(scale, seed=args.seed, progress=args.progress)))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

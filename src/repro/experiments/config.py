@@ -1,0 +1,199 @@
+"""Experiment configuration.
+
+An :class:`ExperimentConfig` pins down everything a run needs: the
+workload scale, the update trace, the policy and its knobs, the penalty
+profile, and the master seed.  :data:`SCALES` provides three presets —
+``smoke`` for unit tests, ``small`` for benchmarks, and ``paper`` for
+full reproduction runs (1024 items, as in the paper).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.core.elastic import ElasticConfig
+from repro.core.qmf import QmfConfig
+from repro.core.unit import UnitConfig
+from repro.core.usm import PenaltyProfile
+from repro.workload.updates import STANDARD_UPDATE_TRACES
+
+# "elastic" is the related-work baseline (Buttazzo-style uniform period
+# stretching); the paper's own comparison set is the first four.
+POLICIES = ("unit", "imu", "odu", "qmf", "elastic")
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentScale:
+    """Workload size preset.
+
+    Attributes:
+        name: Preset label.
+        horizon: Trace length (seconds).
+        n_items: Database size S (paper: 1024).
+        query_utilization: Long-run CPU demand of the query stream.
+        mean_query_service: Mean query execution time (seconds).
+        mean_update_exec: Mean update execution time (seconds).
+    """
+
+    name: str
+    horizon: float
+    n_items: int
+    query_utilization: float = 0.65
+    mean_query_service: float = 0.05
+    # Updates are disk *writes* — substantially slower than reads (the
+    # paper's 30k med-volume updates carry 75% CPU).  3x the mean read
+    # service reproduces the queries-outnumber-updates regime.
+    mean_update_exec: float = 0.15
+
+
+SCALES: Dict[str, ExperimentScale] = {
+    "smoke": ExperimentScale(name="smoke", horizon=120.0, n_items=64),
+    "small": ExperimentScale(name="small", horizon=400.0, n_items=128),
+    "paper": ExperimentScale(name="paper", horizon=3000.0, n_items=1024),
+}
+
+
+@dataclasses.dataclass
+class ExperimentConfig:
+    """Full specification of one simulation run."""
+
+    policy: str = "unit"
+    update_trace: str = "med-unif"
+    profile: PenaltyProfile = dataclasses.field(default_factory=PenaltyProfile.naive)
+    seed: int = 7
+    scale: ExperimentScale = dataclasses.field(default_factory=lambda: SCALES["small"])
+
+    # Query-trace shape (beyond the scale preset).  The defaults are the
+    # calibration DESIGN.md documents: Zipf 1.3 access skew, deadlines
+    # drawn from [mean response, 3 x mean response] (the tight-deadline
+    # regime of the paper's latency-guarantee motivation), 4x flash
+    # crowds.
+    service_cv: float = 1.0
+    zipf_skew: float = 1.3
+    burst_factor: float = 4.0
+    normal_dwell: float = 120.0
+    burst_dwell: float = 20.0
+    freshness_req: float = 0.9
+    items_per_query: int = 1
+    deadline_high_factor: float = 3.0
+    deadline_high_base: str = "mean"  # "max" (paper literal) or "mean" (tight)
+
+    # Update-trace shape.
+    update_exec_cv: float = 0.5
+
+    # Freshness metric: "lag" (the paper's Eq. 1, default), "time"
+    # (exponential decay with ``freshness_half_life``), "divergence"
+    # (linear drift of ``freshness_drift`` per pending update), or
+    # "value" (actual random-walk value distance, scaled by
+    # ``freshness_value_scale``; walk step sigma ``freshness_value_sigma``).
+    freshness_metric: str = "lag"
+    freshness_half_life: float = 30.0
+    freshness_drift: float = 0.1
+    freshness_value_scale: float = 5.0
+    freshness_value_sigma: float = 1.0
+
+    # Policy knobs (None = defaults derived from the profile/scale).
+    unit: Optional[UnitConfig] = None
+    qmf: Optional[QmfConfig] = None
+    elastic: Optional[ElasticConfig] = None
+
+    # Bookkeeping.
+    keep_records: bool = False
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(f"unknown policy {self.policy!r}; one of {POLICIES}")
+        if self.update_trace not in STANDARD_UPDATE_TRACES:
+            raise ValueError(
+                f"unknown update trace {self.update_trace!r}; "
+                f"one of {sorted(STANDARD_UPDATE_TRACES)}"
+            )
+        if self.items_per_query < 1:
+            raise ValueError("items_per_query must be >= 1")
+        if self.freshness_metric not in ("lag", "time", "divergence", "value"):
+            raise ValueError(
+                f"unknown freshness metric {self.freshness_metric!r}; "
+                "one of 'lag', 'time', 'divergence', 'value'"
+            )
+
+    def build_freshness_metric(self):
+        """Instantiate the configured per-item freshness measure.
+
+        The "value" metric carries its own deterministic value table
+        (seeded from this config's seed).
+        """
+        from repro.db.freshness import (
+            DivergenceFreshness,
+            LagFreshness,
+            TimeFreshness,
+        )
+
+        if self.freshness_metric == "time":
+            return TimeFreshness(half_life=self.freshness_half_life)
+        if self.freshness_metric == "divergence":
+            return DivergenceFreshness(drift_per_update=self.freshness_drift)
+        if self.freshness_metric == "value":
+            from repro.db.values import ValueDivergenceFreshness, ValueTable
+            from repro.sim.rng import derive_seed
+
+            table = ValueTable(
+                n_items=self.scale.n_items,
+                seed=derive_seed(self.seed, "value-table"),
+                step_sigma=self.freshness_value_sigma,
+            )
+            return ValueDivergenceFreshness(table, scale=self.freshness_value_scale)
+        return LagFreshness()
+
+    def unit_config(self) -> UnitConfig:
+        """The UNIT knobs for this run (default: paper constants with
+        the run's penalty profile)."""
+        if self.unit is not None:
+            return self.unit
+        return UnitConfig(profile=self.profile)
+
+    def qmf_config(self) -> QmfConfig:
+        """The QMF knobs for this run."""
+        if self.qmf is not None:
+            return self.qmf
+        return QmfConfig()
+
+    def elastic_config(self) -> ElasticConfig:
+        """The elastic-baseline knobs for this run."""
+        if self.elastic is not None:
+            return self.elastic
+        return ElasticConfig()
+
+    def label(self) -> str:
+        return f"{self.policy}/{self.update_trace}/{self.profile.name or 'naive'}"
+
+
+def build_experiment(
+    policy: str = "unit",
+    update_trace: str = "med-unif",
+    profile: Optional[PenaltyProfile] = None,
+    seed: int = 7,
+    scale: str = "small",
+    **overrides,
+) -> ExperimentConfig:
+    """Convenience constructor used by the quickstart and examples.
+
+    Args:
+        policy: One of ``unit``, ``imu``, ``odu``, ``qmf``.
+        update_trace: One of the nine Table 1 traces (e.g. ``med-unif``).
+        profile: Penalty profile; the naive (success-ratio) profile by
+            default.
+        seed: Master seed for all random streams.
+        scale: A :data:`SCALES` preset name.
+        **overrides: Any other :class:`ExperimentConfig` field.
+    """
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; one of {sorted(SCALES)}")
+    return ExperimentConfig(
+        policy=policy,
+        update_trace=update_trace,
+        profile=profile or PenaltyProfile.naive(),
+        seed=seed,
+        scale=SCALES[scale],
+        **overrides,
+    )

@@ -1,0 +1,85 @@
+"""ASCII rendering of tables and bar series.
+
+The harness prints the same rows/series the paper's tables and figures
+report; these helpers keep that output aligned and readable in a
+terminal or a log file.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append(line(["-" * width for width in widths]))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def bar_chart(
+    series: Dict[str, float],
+    title: Optional[str] = None,
+    width: int = 40,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> str:
+    """Render a horizontal bar chart of labeled values.
+
+    Values may be negative (USM can be); bars grow from the axis at the
+    minimum of 0 and ``lo``.
+    """
+    if not series:
+        return title or ""
+    values = list(series.values())
+    low = min(0.0, min(values) if lo is None else lo)
+    high = max(values) if hi is None else hi
+    span = max(high - low, 1e-9)
+    label_width = max(len(label) for label in series)
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    for label, value in series.items():
+        filled = int(round((value - low) / span * width))
+        bar = "#" * filled
+        out.append(f"{label.ljust(label_width)}  {value:+.4f}  |{bar}")
+    return "\n".join(out)
+
+
+def decile_histogram(counts: Sequence[int], buckets: int = 10) -> List[int]:
+    """Aggregate a per-item histogram into ``buckets`` contiguous id
+    ranges (Fig. 3 is too wide to print item by item)."""
+    if buckets <= 0:
+        raise ValueError("buckets must be positive")
+    n = len(counts)
+    if n == 0:
+        return [0] * buckets
+    result = [0] * buckets
+    for index, value in enumerate(counts):
+        bucket = min(buckets - 1, index * buckets // n)
+        result[bucket] += value
+    return result

@@ -1,0 +1,228 @@
+"""Run one configured experiment end to end.
+
+The runner generates the workload, assembles the server with the chosen
+policy, schedules every trace event on the simulator, runs until the
+horizon plus a drain window (so every admitted query resolves through
+its firm deadline), and packages the outcome statistics into a
+:class:`SimulationReport`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional
+
+from repro.core.baselines import ImuPolicy, OduPolicy
+from repro.core.elastic import ElasticPolicy
+from repro.core.qmf import QmfPolicy
+from repro.core.unit import UnitPolicy
+from repro.core.usm import UsmAccumulator
+from repro.db.items import DataItem, ItemTable
+from repro.db.policy_api import ServerPolicy
+from repro.db.server import ARRIVAL_EVENT_PRIORITY, Server, ServerConfig
+from repro.db.transactions import Outcome, QueryRecord, QueryTransaction
+from repro.experiments.config import ExperimentConfig
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+from repro.workload.cello import CelloConfig, generate_cello_trace
+from repro.workload.queries import QueryTrace, build_query_trace
+from repro.workload.updates import (
+    STANDARD_UPDATE_TRACES,
+    UpdateTrace,
+    build_update_trace,
+)
+
+
+@dataclasses.dataclass
+class SimulationReport:
+    """Everything the tables/figures need from one run."""
+
+    config: ExperimentConfig
+    policy_name: str
+    outcome_counts: Dict[Outcome, int]
+    queries_submitted: int
+    usm: float
+    total_usm: float
+    ratios: Dict[Outcome, float]
+    components: Dict[str, float]
+    update_arrivals: int
+    updates_executed: int
+    updates_dropped: int
+    query_access_counts: List[int]
+    update_counts_original: List[int]
+    update_counts_executed: List[int]
+    busy_by_class: Dict[str, float]
+    wall_seconds: float
+    events_fired: int
+    records: Optional[List[QueryRecord]] = None
+
+    @property
+    def success_ratio(self) -> float:
+        if not self.queries_submitted:
+            return 0.0
+        return self.outcome_counts[Outcome.SUCCESS] / self.queries_submitted
+
+    def summary(self) -> str:
+        """One-paragraph human-readable digest."""
+        lines = [
+            f"policy={self.policy_name} trace={self.config.update_trace} "
+            f"profile={self.config.profile.describe()}",
+            f"  queries={self.queries_submitted}  USM={self.usm:+.4f}  "
+            f"success={self.ratios[Outcome.SUCCESS]:.3f}  "
+            f"reject={self.ratios[Outcome.REJECTED]:.3f}  "
+            f"dmf={self.ratios[Outcome.DEADLINE_MISS]:.3f}  "
+            f"dsf={self.ratios[Outcome.DATA_STALE]:.3f}",
+            f"  updates: arrived={self.update_arrivals} "
+            f"executed={self.updates_executed} dropped={self.updates_dropped}",
+            f"  cpu busy: query={self.busy_by_class['query']:.1f}s "
+            f"update={self.busy_by_class['update']:.1f}s "
+            f"(horizon {self.config.scale.horizon:.0f}s)",
+        ]
+        return "\n".join(lines)
+
+
+def make_policy(config: ExperimentConfig, streams: RandomStreams) -> ServerPolicy:
+    """Instantiate the configured policy."""
+    if config.policy == "unit":
+        return UnitPolicy(config.unit_config(), streams.stream("unit-lottery"))
+    if config.policy == "imu":
+        return ImuPolicy()
+    if config.policy == "odu":
+        return OduPolicy()
+    if config.policy == "qmf":
+        return QmfPolicy(config.qmf_config())
+    if config.policy == "elastic":
+        return ElasticPolicy(config.elastic_config())
+    raise ValueError(f"unknown policy {config.policy!r}")
+
+
+def build_workload(config: ExperimentConfig, streams: RandomStreams):
+    """Generate the query trace and the update trace for a config."""
+    scale = config.scale
+    cello = CelloConfig(
+        horizon=scale.horizon,
+        n_items=scale.n_items,
+        query_utilization=scale.query_utilization,
+        mean_service=scale.mean_query_service,
+        service_cv=config.service_cv,
+        zipf_skew=config.zipf_skew,
+        burst_factor=config.burst_factor,
+        normal_dwell=config.normal_dwell,
+        burst_dwell=config.burst_dwell,
+    )
+    records = generate_cello_trace(cello, streams)
+    query_trace = build_query_trace(
+        records,
+        n_items=scale.n_items,
+        streams=streams,
+        horizon=scale.horizon,
+        freshness_req=config.freshness_req,
+        items_per_query=config.items_per_query,
+        deadline_high_factor=config.deadline_high_factor,
+        deadline_high_base=config.deadline_high_base,
+    )
+    update_trace = build_update_trace(
+        STANDARD_UPDATE_TRACES[config.update_trace],
+        query_trace.access_counts(),
+        horizon=scale.horizon,
+        streams=streams,
+        mean_exec=scale.mean_update_exec,
+        exec_cv=config.update_exec_cv,
+    )
+    return query_trace, update_trace
+
+
+def item_table_from_trace(update_trace: UpdateTrace) -> ItemTable:
+    """Build the server's item table from an update trace."""
+    return ItemTable(
+        [
+            DataItem(
+                item_id=item.item_id,
+                ideal_period=item.period,
+                update_exec_time=item.exec_time,
+            )
+            for item in update_trace.items
+        ]
+    )
+
+
+def _drain_window(query_trace: QueryTrace) -> float:
+    """Time past the horizon needed for every admitted query to resolve
+    (the latest firm deadline still pending at the horizon)."""
+    if not query_trace.queries:
+        return 1.0
+    return max(query.relative_deadline for query in query_trace.queries) + 1.0
+
+
+def run_experiment(config: ExperimentConfig) -> SimulationReport:
+    """Run one simulation and collect its report."""
+    started = time.perf_counter()
+    streams = RandomStreams(config.seed)
+    query_trace, update_trace = build_workload(config, streams)
+
+    sim = Simulator()
+    items = item_table_from_trace(update_trace)
+    policy = make_policy(config, streams)
+    server = Server(
+        sim,
+        items,
+        policy,
+        ServerConfig(freshness_metric=config.build_freshness_metric()),
+    )
+
+    for query_spec in query_trace.queries:
+        txn = QueryTransaction(
+            txn_id=server.next_txn_id(),
+            arrival=query_spec.arrival,
+            exec_time=query_spec.exec_time,
+            items=query_spec.items,
+            relative_deadline=query_spec.relative_deadline,
+            freshness_req=query_spec.freshness_req,
+        )
+        sim.schedule(
+            query_spec.arrival,
+            lambda t=txn: server.submit_query(t),
+            priority=ARRIVAL_EVENT_PRIORITY,
+        )
+    for arrival_time, item_id in update_trace.arrival_events():
+        sim.schedule(
+            arrival_time,
+            lambda i=item_id: server.source_update_arrival(i),
+            priority=ARRIVAL_EVENT_PRIORITY,
+        )
+
+    horizon = config.scale.horizon
+    sim.run(until=horizon + _drain_window(query_trace))
+
+    unresolved = query_trace_size = len(query_trace.queries)
+    unresolved -= len(server.records)
+    if unresolved:
+        raise RuntimeError(
+            f"{unresolved} of {query_trace_size} queries never resolved; "
+            "drain window too short?"
+        )
+
+    accumulator = UsmAccumulator.from_counts(config.profile, server.outcome_counts)
+    totals = items.totals()
+    report = SimulationReport(
+        config=config,
+        policy_name=policy.describe(),
+        outcome_counts=dict(server.outcome_counts),
+        queries_submitted=server.queries_submitted,
+        usm=accumulator.average_usm(),
+        total_usm=accumulator.total_usm(),
+        ratios=accumulator.ratios(),
+        components=accumulator.components(),
+        update_arrivals=totals["arrivals"],
+        updates_executed=totals["executed"],
+        updates_dropped=totals["dropped"],
+        query_access_counts=query_trace.access_counts(),
+        update_counts_original=update_trace.per_item_counts(),
+        update_counts_executed=[item.updates_executed for item in items],
+        busy_by_class=server.busy_time_by_class(),
+        wall_seconds=time.perf_counter() - started,
+        events_fired=sim.events_fired,
+        records=list(server.records) if config.keep_records else None,
+    )
+    return report

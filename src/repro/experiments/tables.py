@@ -1,0 +1,144 @@
+"""Table 1 (the nine update traces) and Table 2 (the USM weights)."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.core.usm import TABLE2_PROFILES, PenaltyProfile
+from repro.experiments.config import ExperimentScale
+from repro.experiments.report import ascii_table
+from repro.sim.rng import RandomStreams
+from repro.workload.cello import CelloConfig, generate_cello_trace
+from repro.workload.correlation import pearson
+from repro.workload.queries import build_query_trace
+from repro.workload.updates import (
+    STANDARD_UPDATE_TRACES,
+    UpdateTrace,
+    build_update_trace,
+)
+
+
+@dataclasses.dataclass
+class Table1Row:
+    """One update trace, with paper-scale and our-scale statistics."""
+
+    name: str
+    distribution: str
+    target_utilization: float
+    actual_utilization: float
+    total_updates: int
+    paper_total_updates: int
+    correlation_with_queries: float
+
+
+def table1(scale: ExperimentScale, seed: int = 7) -> List[Table1Row]:
+    """Regenerate Table 1 at the given scale.
+
+    Builds the query trace once (all update traces correlate against
+    the same query histogram, as in the paper) and the nine update
+    traces, reporting achieved utilization and spatial correlation.
+    """
+    streams = RandomStreams(seed)
+    cello = CelloConfig(
+        horizon=scale.horizon,
+        n_items=scale.n_items,
+        query_utilization=scale.query_utilization,
+        mean_service=scale.mean_query_service,
+    )
+    records = generate_cello_trace(cello, streams)
+    query_trace = build_query_trace(
+        records, n_items=scale.n_items, streams=streams, horizon=scale.horizon
+    )
+    access_counts = query_trace.access_counts()
+
+    rows: List[Table1Row] = []
+    for name in sorted(
+        STANDARD_UPDATE_TRACES,
+        key=lambda n: (
+            ["low", "med", "high"].index(STANDARD_UPDATE_TRACES[n].volume),
+            ["unif", "pos", "neg"].index(STANDARD_UPDATE_TRACES[n].correlation),
+        ),
+    ):
+        spec = STANDARD_UPDATE_TRACES[name]
+        trace = build_update_trace(
+            spec,
+            access_counts,
+            horizon=scale.horizon,
+            streams=streams,
+            mean_exec=scale.mean_update_exec,
+        )
+        rows.append(
+            Table1Row(
+                name=spec.name,
+                distribution={
+                    "unif": "uniform",
+                    "pos": "positive correlation",
+                    "neg": "negative correlation",
+                }[spec.correlation],
+                target_utilization=spec.utilization,
+                actual_utilization=trace.utilization(),
+                total_updates=trace.total_updates(),
+                paper_total_updates=spec.paper_total_updates,
+                correlation_with_queries=pearson(
+                    [float(c) for c in trace.per_item_counts()],
+                    [float(c) for c in access_counts],
+                ),
+            )
+        )
+    return rows
+
+
+def render_table1(rows: List[Table1Row]) -> str:
+    return ascii_table(
+        headers=[
+            "trace",
+            "distribution",
+            "target util",
+            "actual util",
+            "updates (ours)",
+            "updates (paper)",
+            "corr w/ queries",
+        ],
+        rows=[
+            [
+                row.name,
+                row.distribution,
+                f"{row.target_utilization:.0%}",
+                f"{row.actual_utilization:.1%}",
+                row.total_updates,
+                row.paper_total_updates,
+                f"{row.correlation_with_queries:+.3f}",
+            ]
+            for row in rows
+        ],
+        title="Table 1 — update traces (volumes x spatial distributions)",
+    )
+
+
+def table2() -> Dict[str, PenaltyProfile]:
+    """The six Fig. 5 weight settings, keyed as in
+    :data:`repro.core.usm.TABLE2_PROFILES`."""
+    return dict(TABLE2_PROFILES)
+
+
+def render_table2() -> str:
+    rows = []
+    for key, profile in TABLE2_PROFILES.items():
+        rows.append(
+            [key, profile.name, profile.gain, profile.c_r, profile.c_fm, profile.c_fs]
+        )
+    return ascii_table(
+        headers=["key", "setting", "C_s", "C_r", "C_fm", "C_fs"],
+        rows=rows,
+        title="Table 2 — USM weights for Figure 5",
+    )
+
+
+def validate_update_trace(trace: UpdateTrace, tolerance: float = 0.10) -> bool:
+    """True when the trace's CPU demand is within ``tolerance`` of its
+    target utilization (used by tests and the Table 1 bench)."""
+    target = trace.target_utilization
+    if target <= 0:
+        return trace.utilization() == 0
+    return abs(trace.utilization() - target) <= tolerance * target

@@ -1,0 +1,174 @@
+"""The discrete-event simulation loop.
+
+:class:`Simulator` owns the virtual clock and a binary-heap event
+queue.  Callers schedule callbacks at absolute times or after delays
+and receive a :class:`Timer` handle that can cancel the pending event —
+the engine uses lazy deletion, so cancellation is O(1).
+
+The engine is deliberately minimal: it has no notion of processes or
+resources.  The preemptive CPU model lives in
+:mod:`repro.db.server`, built from plain events and timers.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.sim.events import Event
+
+
+class SimulationError(RuntimeError):
+    """Raised on invalid use of the engine (e.g. scheduling in the past)."""
+
+
+class Timer:
+    """Handle to a scheduled event; supports cancellation and queries."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time."""
+        return self._event.time
+
+    @property
+    def active(self) -> bool:
+        """True while the event is still pending (not fired, not cancelled)."""
+        return not self._event.cancelled
+
+    def cancel(self) -> None:
+        """Cancel the pending event.  Idempotent."""
+        self._event.cancelled = True
+
+
+class Simulator:
+    """A single-threaded discrete-event simulator.
+
+    Example::
+
+        sim = Simulator()
+        sim.schedule(1.0, lambda: print("hello at t=1"))
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._fired = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return len(self._heap)
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._fired
+
+    def schedule(
+        self,
+        at: float,
+        callback: Callable[[], Any],
+        priority: int = 0,
+    ) -> Timer:
+        """Schedule ``callback`` at absolute time ``at``.
+
+        Args:
+            at: Absolute simulated time; must not precede the clock.
+            callback: Zero-argument callable.
+            priority: Tie-break rank for same-instant events (lower first).
+
+        Returns:
+            A cancellable :class:`Timer` handle.
+
+        Raises:
+            SimulationError: If ``at`` is in the simulated past.
+        """
+        if at < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={at:.6f} before now={self._now:.6f}"
+            )
+        self._seq += 1
+        event = Event(time=at, priority=priority, seq=self._seq, callback=callback)
+        heapq.heappush(self._heap, event)
+        return Timer(event)
+
+    def schedule_after(
+        self,
+        delay: float,
+        callback: Callable[[], Any],
+        priority: int = 0,
+    ) -> Timer:
+        """Schedule ``callback`` after a non-negative ``delay``."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.schedule(self._now + delay, callback, priority=priority)
+
+    def peek_time(self) -> Optional[float]:
+        """Firing time of the next live event, or None if the queue is drained."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def step(self) -> bool:
+        """Fire the next live event.  Returns False when the queue is empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        self._now = event.time
+        self._fired += 1
+        event.fire()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run the loop until the queue drains, ``until`` is reached, or
+        ``max_events`` have fired.
+
+        Events scheduled exactly at ``until`` still fire; the clock is
+        then advanced to ``until`` so post-run bookkeeping sees the full
+        horizon.
+
+        Returns:
+            The simulated time when the loop stopped.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                if max_events is not None and fired >= max_events:
+                    break
+                self._drop_cancelled()
+                if not self._heap:
+                    break
+                if until is not None and self._heap[0].time > until:
+                    break
+                event = heapq.heappop(self._heap)
+                self._now = event.time
+                self._fired += 1
+                fired += 1
+                event.fire()
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

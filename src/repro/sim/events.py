@@ -1,0 +1,41 @@
+"""Event records for the discrete-event engine.
+
+An :class:`Event` couples a firing time with a callback.  Events are
+totally ordered by ``(time, priority, seq)``: the sequence number makes
+the order deterministic when several events share a firing time, and
+``priority`` lets callers force, e.g., arrivals to be processed before
+control ticks scheduled at the same instant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable
+
+
+@dataclasses.dataclass(order=True)
+class Event:
+    """A scheduled callback, ordered by ``(time, priority, seq)``.
+
+    Attributes:
+        time: Simulated firing time (seconds).
+        priority: Tie-break rank for events at the same instant; lower
+            fires first.  Defaults to 0.
+        seq: Monotonically increasing tie-breaker assigned by the
+            simulator; guarantees a deterministic total order.
+        callback: Zero-argument callable invoked when the event fires.
+            Excluded from ordering comparisons.
+        cancelled: Set by :meth:`repro.sim.engine.Timer.cancel`;
+            cancelled events are skipped by the loop.
+    """
+
+    time: float
+    priority: int = 0
+    seq: int = 0
+    callback: Callable[[], Any] = dataclasses.field(compare=False, default=lambda: None)
+    cancelled: bool = dataclasses.field(compare=False, default=False)
+
+    def fire(self) -> None:
+        """Invoke the callback unless the event was cancelled."""
+        if not self.cancelled:
+            self.callback()

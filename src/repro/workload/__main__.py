@@ -1,0 +1,113 @@
+"""Command-line workload generator.
+
+Build the synthetic cello99a-like query trace and any of the nine
+standard update traces, save them as a bundle, or print summaries of an
+existing bundle:
+
+    python -m repro.workload generate --scale small --seed 7 \
+        --traces med-unif med-neg --out bundle.json
+    python -m repro.workload inspect bundle.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.config import SCALES
+from repro.experiments.report import ascii_table
+from repro.sim.rng import RandomStreams
+from repro.workload.cello import CelloConfig, generate_cello_trace
+from repro.workload.correlation import pearson
+from repro.workload.queries import build_query_trace
+from repro.workload.traces import load_trace_bundle, save_trace_bundle
+from repro.workload.updates import STANDARD_UPDATE_TRACES, build_update_trace
+
+
+def _generate(args) -> int:
+    scale = SCALES[args.scale]
+    streams = RandomStreams(args.seed)
+    cello = CelloConfig(
+        horizon=scale.horizon,
+        n_items=scale.n_items,
+        query_utilization=scale.query_utilization,
+        mean_service=scale.mean_query_service,
+    )
+    records = generate_cello_trace(cello, streams)
+    query_trace = build_query_trace(
+        records, n_items=scale.n_items, streams=streams, horizon=scale.horizon
+    )
+    update_traces = {}
+    for name in args.traces:
+        if name not in STANDARD_UPDATE_TRACES:
+            print(f"unknown update trace {name!r}", file=sys.stderr)
+            return 2
+        update_traces[name] = build_update_trace(
+            STANDARD_UPDATE_TRACES[name],
+            query_trace.access_counts(),
+            horizon=scale.horizon,
+            streams=streams,
+            mean_exec=scale.mean_update_exec,
+        )
+    save_trace_bundle(args.out, query_trace, update_traces)
+    print(
+        f"wrote {args.out}: {len(query_trace.queries)} queries, "
+        f"{sum(t.total_updates() for t in update_traces.values())} updates "
+        f"across {len(update_traces)} trace(s)"
+    )
+    return 0
+
+
+def _inspect(args) -> int:
+    query_trace, update_traces = load_trace_bundle(args.bundle)
+    counts = query_trace.access_counts()
+    print(
+        f"query trace {query_trace.name!r}: {len(query_trace.queries)} queries, "
+        f"{query_trace.n_items} items, horizon {query_trace.horizon:g}s, "
+        f"utilization {query_trace.utilization():.1%}"
+    )
+    rows = []
+    for name, trace in sorted(update_traces.items()):
+        rows.append(
+            [
+                name,
+                trace.total_updates(),
+                f"{trace.utilization():.1%}",
+                f"{pearson([float(c) for c in trace.per_item_counts()], [float(c) for c in counts]):+.3f}",
+            ]
+        )
+    if rows:
+        print(
+            ascii_table(
+                ["update trace", "updates", "utilization", "corr w/ queries"], rows
+            )
+        )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.workload")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="build and save a trace bundle")
+    gen.add_argument("--scale", choices=sorted(SCALES), default="small")
+    gen.add_argument("--seed", type=int, default=7)
+    gen.add_argument(
+        "--traces",
+        nargs="+",
+        default=["med-unif"],
+        help="update traces to include (e.g. med-unif high-neg)",
+    )
+    gen.add_argument("--out", required=True)
+    gen.set_defaults(func=_generate)
+
+    ins = sub.add_parser("inspect", help="summarize a saved bundle")
+    ins.add_argument("bundle")
+    ins.set_defaults(func=_inspect)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,128 @@
+"""Trace (de)serialization and summaries.
+
+Traces are stored as a single JSON document: metadata plus the query
+specs and per-item update streams.  The format is versioned so bundles
+written by older releases fail loudly instead of silently misparsing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.workload.queries import QuerySpec, QueryTrace
+from repro.workload.updates import ItemUpdateSpec, UpdateTrace
+
+FORMAT_VERSION = 1
+
+
+def _query_trace_to_dict(trace: QueryTrace) -> Dict:
+    return {
+        "name": trace.name,
+        "horizon": trace.horizon,
+        "n_items": trace.n_items,
+        "queries": [
+            {
+                "arrival": q.arrival,
+                "items": list(q.items),
+                "exec_time": q.exec_time,
+                "relative_deadline": q.relative_deadline,
+                "freshness_req": q.freshness_req,
+            }
+            for q in trace.queries
+        ],
+    }
+
+
+def _query_trace_from_dict(data: Dict) -> QueryTrace:
+    return QueryTrace(
+        name=data["name"],
+        horizon=data["horizon"],
+        n_items=data["n_items"],
+        queries=[
+            QuerySpec(
+                arrival=q["arrival"],
+                items=tuple(q["items"]),
+                exec_time=q["exec_time"],
+                relative_deadline=q["relative_deadline"],
+                freshness_req=q["freshness_req"],
+            )
+            for q in data["queries"]
+        ],
+    )
+
+
+def _update_trace_to_dict(trace: UpdateTrace) -> Dict:
+    return {
+        "name": trace.name,
+        "horizon": trace.horizon,
+        "target_utilization": trace.target_utilization,
+        "items": [
+            {
+                "item_id": item.item_id,
+                "count": item.count,
+                "period": item.period,
+                "phase": item.phase,
+                "exec_time": item.exec_time,
+            }
+            for item in trace.items
+        ],
+    }
+
+
+def _update_trace_from_dict(data: Dict) -> UpdateTrace:
+    return UpdateTrace(
+        name=data["name"],
+        horizon=data["horizon"],
+        target_utilization=data["target_utilization"],
+        items=[
+            ItemUpdateSpec(
+                item_id=item["item_id"],
+                count=item["count"],
+                period=item["period"],
+                phase=item["phase"],
+                exec_time=item["exec_time"],
+            )
+            for item in data["items"]
+        ],
+    )
+
+
+def save_trace_bundle(
+    path: Union[str, Path],
+    query_trace: QueryTrace,
+    update_traces: Dict[str, UpdateTrace],
+) -> None:
+    """Write a query trace and named update traces to a JSON file."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "query_trace": _query_trace_to_dict(query_trace),
+        "update_traces": {
+            name: _update_trace_to_dict(trace) for name, trace in update_traces.items()
+        },
+    }
+    Path(path).write_text(json.dumps(payload), encoding="utf-8")
+
+
+def load_trace_bundle(path: Union[str, Path]) -> tuple:
+    """Load a bundle written by :func:`save_trace_bundle`.
+
+    Returns:
+        ``(query_trace, update_traces_dict)``.
+
+    Raises:
+        ValueError: On a format-version mismatch.
+    """
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"trace bundle format {version!r} not supported (expected {FORMAT_VERSION})"
+        )
+    query_trace = _query_trace_from_dict(payload["query_trace"])
+    update_traces = {
+        name: _update_trace_from_dict(data)
+        for name, data in payload["update_traces"].items()
+    }
+    return query_trace, update_traces

@@ -1,0 +1,157 @@
+"""Tests for the analysis subpackage (latency + timeline)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.latency import LatencySummary, latency_summary, percentile, slack_ratios
+from repro.analysis.timeline import Timeline, TimelineProbe, TimelineSample
+from repro.core.baselines import ImuPolicy
+from repro.core.unit import UnitConfig, UnitPolicy
+from repro.core.usm import PenaltyProfile
+from repro.db.items import ItemTable
+from repro.db.server import ARRIVAL_EVENT_PRIORITY, Server, ServerConfig
+from repro.db.transactions import Outcome, QueryRecord, QueryTransaction
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+
+def record(outcome, response, deadline=1.0):
+    return QueryRecord(
+        txn_id=1,
+        arrival=0.0,
+        items=(0,),
+        exec_time=0.1,
+        relative_deadline=deadline,
+        freshness_req=0.9,
+        outcome=outcome,
+        finish_time=response,
+    )
+
+
+class TestPercentile:
+    def test_median_of_odd_list(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 9.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 9.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=50))
+    def test_property_bounded_and_monotone(self, values):
+        p10 = percentile(values, 10)
+        p90 = percentile(values, 90)
+        assert min(values) <= p10 <= p90 <= max(values)
+
+
+class TestLatencySummary:
+    def test_per_outcome_split(self):
+        records = [
+            record(Outcome.SUCCESS, 0.1),
+            record(Outcome.SUCCESS, 0.3),
+            record(Outcome.DEADLINE_MISS, 1.0),
+            record(Outcome.REJECTED, 0.0),
+        ]
+        summary = latency_summary(records)
+        assert summary[Outcome.SUCCESS].count == 2
+        assert summary[Outcome.SUCCESS].mean == pytest.approx(0.2)
+        assert summary[Outcome.DEADLINE_MISS].p50 == pytest.approx(1.0)
+        # Pooled excludes rejections.
+        assert summary[None].count == 3
+
+    def test_empty_records(self):
+        assert latency_summary([]) == {}
+
+    def test_from_values_validation(self):
+        with pytest.raises(ValueError):
+            LatencySummary.from_values([])
+
+    def test_slack_ratios(self):
+        records = [
+            record(Outcome.SUCCESS, 0.5, deadline=1.0),
+            record(Outcome.DEADLINE_MISS, 1.0, deadline=1.0),
+        ]
+        assert slack_ratios(records) == [pytest.approx(0.5)]
+
+
+class TestTimeline:
+    def sample(self, t, ok=0):
+        return TimelineSample(
+            time=t,
+            ready_queries=0,
+            ready_updates=0,
+            busy_query=t * 0.5,
+            busy_update=t * 0.25,
+            outcomes={Outcome.SUCCESS: ok},
+        )
+
+    def test_ordering_enforced(self):
+        timeline = Timeline()
+        timeline.append(self.sample(1.0))
+        with pytest.raises(ValueError):
+            timeline.append(self.sample(0.5))
+
+    def test_series_and_deltas(self):
+        timeline = Timeline()
+        timeline.append(self.sample(1.0, ok=2))
+        timeline.append(self.sample(2.0, ok=5))
+        assert timeline.series("time") == [1.0, 2.0]
+        assert timeline.outcome_deltas(Outcome.SUCCESS) == [2, 3]
+
+    def test_utilization(self):
+        sample = self.sample(4.0)
+        assert sample.utilization_so_far == pytest.approx(0.75)
+
+
+class TestTimelineProbe:
+    def run_probed(self, policy):
+        sim = Simulator()
+        items = ItemTable.uniform(4, ideal_period=2.0, update_exec_time=0.2)
+        server = Server(sim, items, policy, ServerConfig())
+        for i in range(20):
+            txn = QueryTransaction(
+                txn_id=server.next_txn_id(),
+                arrival=0.5 * i,
+                exec_time=0.1,
+                items=(i % 4,),
+                relative_deadline=1.0,
+            )
+            sim.schedule(
+                0.5 * i, lambda q=txn: server.submit_query(q),
+                priority=ARRIVAL_EVENT_PRIORITY,
+            )
+        probe = TimelineProbe(server, interval=2.0, horizon=10.0)
+        probe.start()
+        sim.run(until=11.0)
+        return probe.timeline
+
+    def test_probe_samples_plain_policy(self):
+        timeline = self.run_probed(ImuPolicy())
+        assert len(timeline) == 5
+        assert timeline.samples[0].c_flex is None  # IMU has no knobs
+
+    def test_probe_captures_unit_knobs(self):
+        policy = UnitPolicy(
+            UnitConfig(profile=PenaltyProfile.naive(), control_period=1.0),
+            RandomStreams(1).stream("lottery"),
+        )
+        timeline = self.run_probed(policy)
+        assert timeline.samples[-1].c_flex is not None
+        assert timeline.samples[-1].degraded_items is not None
+        assert timeline.samples[-1].ticket_threshold is not None
+
+    def test_probe_validation(self):
+        sim = Simulator()
+        items = ItemTable.uniform(1, ideal_period=1.0, update_exec_time=0.1)
+        server = Server(sim, items, ImuPolicy(), ServerConfig())
+        with pytest.raises(ValueError):
+            TimelineProbe(server, interval=0.0, horizon=1.0)

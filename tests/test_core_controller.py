@@ -1,0 +1,109 @@
+"""Tests for the Load Balancing Controller / Adaptive Allocation
+(paper Fig. 2)."""
+
+import random
+
+import pytest
+
+from repro.core.controller import ControlSignal, LoadBalancingController
+from repro.core.usm import PenaltyProfile, UsmWindow
+from repro.db.transactions import Outcome
+
+
+def make_lbc(profile=None, window=100.0, min_samples=1, threshold=0.01):
+    profile = profile or PenaltyProfile.naive()
+    usm_window = UsmWindow(profile, window)
+    lbc = LoadBalancingController(
+        usm_window, random.Random(0), usm_drop_threshold=threshold, min_samples=min_samples
+    )
+    return usm_window, lbc
+
+
+def fill(window, now, outcomes):
+    for outcome in outcomes:
+        window.record(now, outcome)
+
+
+class TestAdaptiveAllocation:
+    def test_rejections_dominant_loosens_admission(self):
+        window, lbc = make_lbc()
+        fill(window, 1.0, [Outcome.REJECTED] * 5 + [Outcome.DEADLINE_MISS])
+        assert lbc.allocate(1.0) == [ControlSignal.LOOSEN_ADMISSION]
+
+    def test_dmf_dominant_degrades_and_tightens(self):
+        window, lbc = make_lbc()
+        fill(window, 1.0, [Outcome.DEADLINE_MISS] * 5 + [Outcome.REJECTED])
+        assert lbc.allocate(1.0) == [
+            ControlSignal.DEGRADE_UPDATES,
+            ControlSignal.TIGHTEN_ADMISSION,
+        ]
+
+    def test_dsf_dominant_upgrades(self):
+        window, lbc = make_lbc()
+        fill(window, 1.0, [Outcome.DATA_STALE] * 5 + [Outcome.REJECTED])
+        assert lbc.allocate(1.0) == [ControlSignal.UPGRADE_UPDATES]
+
+    def test_all_success_no_signals(self):
+        window, lbc = make_lbc()
+        fill(window, 1.0, [Outcome.SUCCESS] * 10)
+        assert lbc.allocate(1.0) == []
+
+    def test_weighted_costs_pick_dominant(self):
+        """With non-zero weights the *cost*, not the raw ratio, decides:
+        few expensive rejections beat many cheap misses."""
+        profile = PenaltyProfile(c_r=1.0, c_fm=0.01, c_fs=0.01)
+        window, lbc = make_lbc(profile)
+        fill(window, 1.0, [Outcome.REJECTED] * 2 + [Outcome.DEADLINE_MISS] * 8)
+        assert lbc.allocate(1.0) == [ControlSignal.LOOSEN_ADMISSION]
+
+    def test_thin_window_defers(self):
+        window, lbc = make_lbc(min_samples=10)
+        fill(window, 1.0, [Outcome.DEADLINE_MISS] * 3)
+        assert lbc.allocate(1.0) == []
+
+    def test_tie_broken_randomly_but_valid(self):
+        window, lbc = make_lbc()
+        fill(window, 1.0, [Outcome.REJECTED, Outcome.DEADLINE_MISS, Outcome.DATA_STALE])
+        signals = lbc.allocate(1.0)
+        assert signals in (
+            [ControlSignal.LOOSEN_ADMISSION],
+            [ControlSignal.DEGRADE_UPDATES, ControlSignal.TIGHTEN_ADMISSION],
+            [ControlSignal.UPGRADE_UPDATES],
+        )
+
+    def test_signal_counters(self):
+        window, lbc = make_lbc()
+        fill(window, 1.0, [Outcome.REJECTED] * 3)
+        lbc.allocate(1.0)
+        assert lbc.allocations == 1
+        assert lbc.signal_counts[ControlSignal.LOOSEN_ADMISSION] == 1
+
+
+class TestDropTrigger:
+    def test_no_drop_before_first_allocation(self):
+        window, lbc = make_lbc()
+        fill(window, 1.0, [Outcome.DEADLINE_MISS] * 3)
+        assert not lbc.check_drop(1.0)
+
+    def test_drop_detected_after_degradation(self):
+        window, lbc = make_lbc(threshold=0.05)
+        fill(window, 1.0, [Outcome.SUCCESS] * 10)
+        lbc.allocate(1.0)  # snapshots USM = 1.0
+        fill(window, 2.0, [Outcome.DEADLINE_MISS] * 10)
+        assert lbc.check_drop(2.0)
+
+    def test_small_wobble_not_a_drop(self):
+        window, lbc = make_lbc(threshold=0.2)
+        fill(window, 1.0, [Outcome.SUCCESS] * 10)
+        lbc.allocate(1.0)
+        fill(window, 2.0, [Outcome.DEADLINE_MISS])  # USM 10/11 = 0.909
+        assert not lbc.check_drop(2.0)
+
+    def test_invalid_parameters(self):
+        window = UsmWindow(PenaltyProfile.naive(), 10.0)
+        with pytest.raises(ValueError):
+            LoadBalancingController(window, random.Random(0), usm_drop_threshold=0.0)
+        with pytest.raises(ValueError):
+            LoadBalancingController(
+                window, random.Random(0), usm_drop_threshold=0.1, min_samples=0
+            )

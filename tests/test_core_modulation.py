@@ -1,0 +1,163 @@
+"""Tests for Update Frequency Modulation (paper Section 3.4)."""
+
+import random
+
+import pytest
+
+from repro.core.modulation import UpdateFrequencyModulator
+from repro.core.tickets import TicketBook
+from repro.db.items import ItemTable
+
+
+def make_modulator(n=4, escalate=False, max_stretch=100.0):
+    items = ItemTable.uniform(n, ideal_period=10.0, update_exec_time=1.0)
+    tickets = TicketBook(n)
+    modulator = UpdateFrequencyModulator(
+        items, tickets, random.Random(0), max_stretch=max_stretch
+    )
+    modulator.escalate = escalate
+    return items, tickets, modulator
+
+
+class TestDegrade:
+    def test_no_tickets_no_victims(self):
+        _, _, modulator = make_modulator()
+        assert modulator.degrade(rounds=5) == []
+        assert modulator.degrade_events == 0
+
+    def test_degrade_stretches_victim_period_eq9(self):
+        items, tickets, modulator = make_modulator()
+        tickets.on_update(2, update_exec_time=1.0)
+        victims = modulator.degrade(rounds=1)
+        assert victims == [2]
+        assert items[2].current_period == pytest.approx(11.0)
+        assert modulator.degrade_events == 1
+
+    def test_degrade_respects_cap(self):
+        items, tickets, modulator = make_modulator(max_stretch=2.0)
+        tickets.on_update(0, update_exec_time=1.0)
+        for _ in range(30):
+            modulator.degrade(rounds=1)
+        assert items[0].current_period <= 2.0 * items[0].ideal_period * 1.1
+
+    def test_protected_items_not_picked(self):
+        items, tickets, modulator = make_modulator()
+        tickets.on_update(0, update_exec_time=1.0)
+        tickets.on_query_access(1, cpu_utilization=0.5)  # negative ticket
+        for _ in range(20):
+            modulator.degrade(rounds=1)
+        assert not items[1].is_degraded
+
+    def test_escalation_reaches_protected_items(self):
+        items, tickets, modulator = make_modulator(escalate=True, max_stretch=1.5)
+        tickets.on_update(0, update_exec_time=1.0)
+        tickets.on_query_access(1, cpu_utilization=0.2)  # mildly protected
+        tickets.on_query_access(2, cpu_utilization=2.0)  # strongly protected
+        for _ in range(40):
+            modulator.degrade(rounds=4)
+        assert items[0].is_degraded
+        assert items[1].is_degraded  # reached once the threshold walked down
+        assert tickets.threshold < 0.0
+
+    def test_without_escalation_threshold_stays_zero(self):
+        items, tickets, modulator = make_modulator(escalate=False, max_stretch=1.5)
+        tickets.on_update(0, update_exec_time=1.0)
+        tickets.on_query_access(1, cpu_utilization=0.2)
+        for _ in range(40):
+            modulator.degrade(rounds=4)
+        assert tickets.threshold == 0.0
+        assert not items[1].is_degraded
+
+    def test_invalid_rounds(self):
+        _, _, modulator = make_modulator()
+        with pytest.raises(ValueError):
+            modulator.degrade(rounds=0)
+
+    def test_escalation_respects_floor(self):
+        """Items with tickets below the escalation floor are never
+        exposed no matter how long overload persists."""
+        items, tickets, modulator = make_modulator(escalate=True, max_stretch=1.2)
+        modulator.escalation_floor = -1.0
+        tickets.on_update(0, update_exec_time=1.0)
+        tickets.on_query_access(1, cpu_utilization=0.6)  # ticket -0.6 (exposable)
+        for _ in range(5):
+            tickets.on_query_access(2, cpu_utilization=0.6)  # far below floor
+        for _ in range(60):
+            modulator.degrade(rounds=4)
+        assert tickets.threshold >= -1.0
+        assert items[1].is_degraded  # above the floor: eventually reached
+        assert not items[2].is_degraded  # below the floor: protected forever
+
+    def test_relax_threshold_walks_back_to_zero(self):
+        items, tickets, modulator = make_modulator(escalate=True, max_stretch=1.2)
+        tickets.on_update(0, update_exec_time=1.0)
+        tickets.on_query_access(1, cpu_utilization=0.3)
+        for _ in range(20):
+            modulator.degrade(rounds=2)
+        assert tickets.threshold < 0.0
+        for _ in range(10):
+            modulator.relax_threshold()
+        assert tickets.threshold == 0.0
+
+
+class TestUpgrade:
+    def test_upgrade_restores_periods_eq10(self):
+        items, tickets, modulator = make_modulator()
+        tickets.on_update(0, update_exec_time=1.0)
+        modulator.degrade(rounds=1)  # period 11.0
+        changed = modulator.upgrade_all()
+        assert changed == [0]
+        assert items[0].current_period == pytest.approx(10.0)
+        assert modulator.upgrade_events == 1
+
+    def test_upgrade_noop_when_nothing_degraded(self):
+        _, _, modulator = make_modulator()
+        assert modulator.upgrade_all() == []
+        assert modulator.upgrade_events == 0
+
+    def test_upgrade_relaxes_escalation_threshold(self):
+        items, tickets, modulator = make_modulator(escalate=True, max_stretch=1.2)
+        tickets.on_query_access(0, cpu_utilization=1.0)
+        tickets.on_update(1, update_exec_time=1.0)
+        for _ in range(30):
+            modulator.degrade(rounds=2)
+        assert tickets.threshold < 0.0
+        before = tickets.threshold
+        modulator.upgrade_all()
+        assert tickets.threshold > before
+
+    def test_deep_degradation_recovers_over_several_upgrades(self):
+        items, tickets, modulator = make_modulator()
+        tickets.on_update(0, update_exec_time=1.0)
+        for _ in range(25):
+            modulator.degrade(rounds=1)
+        deep = items[0].current_period
+        assert deep > 50.0
+        upgrades = 0
+        while items[0].is_degraded and upgrades < 100:
+            modulator.upgrade_all()
+            upgrades += 1
+        assert 2 <= upgrades < 100  # gradual, not a one-shot wipe
+
+
+class TestDiagnostics:
+    def test_degraded_count(self):
+        items, tickets, modulator = make_modulator()
+        tickets.on_update(0, update_exec_time=1.0)
+        tickets.on_update(1, update_exec_time=1.0)
+        for _ in range(10):
+            modulator.degrade(rounds=2)
+        assert modulator.degraded_count() == len(items.degraded_items())
+
+    def test_victim_distribution_normalized(self):
+        _, tickets, modulator = make_modulator()
+        assert modulator.victim_distribution() is None
+        tickets.on_update(0, update_exec_time=1.0)
+        tickets.on_update(1, update_exec_time=1.0)
+        dist = modulator.victim_distribution()
+        assert sum(dist) == pytest.approx(1.0)
+
+    def test_size_mismatch_rejected(self):
+        items = ItemTable.uniform(4, ideal_period=10.0, update_exec_time=1.0)
+        with pytest.raises(ValueError):
+            UpdateFrequencyModulator(items, TicketBook(3), random.Random(0))

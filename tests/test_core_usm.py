@@ -1,0 +1,148 @@
+"""Tests for the User Satisfaction Metric (paper Eqs. 2-5)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.usm import (
+    TABLE2_PROFILES,
+    PenaltyProfile,
+    UsmAccumulator,
+    UsmWindow,
+)
+from repro.db.transactions import Outcome
+
+OUTCOMES = list(Outcome)
+
+
+class TestPenaltyProfile:
+    def test_contributions_follow_eq3(self):
+        profile = PenaltyProfile(c_r=0.5, c_fm=0.2, c_fs=0.1, gain=1.0)
+        assert profile.contribution(Outcome.SUCCESS) == 1.0
+        assert profile.contribution(Outcome.REJECTED) == -0.5
+        assert profile.contribution(Outcome.DEADLINE_MISS) == -0.2
+        assert profile.contribution(Outcome.DATA_STALE) == -0.1
+
+    def test_usm_range(self):
+        profile = PenaltyProfile(c_r=0.5, c_fm=2.0, c_fs=0.1)
+        assert profile.usm_min == -2.0
+        assert profile.usm_max == 1.0
+        assert profile.usm_range == 3.0
+
+    def test_naive_profile(self):
+        naive = PenaltyProfile.naive()
+        assert naive.is_naive
+        assert naive.usm_min == 0.0
+
+    def test_negative_penalty_rejected(self):
+        with pytest.raises(ValueError):
+            PenaltyProfile(c_r=-1.0)
+
+    def test_table2_has_six_settings(self):
+        assert len(TABLE2_PROFILES) == 6
+        lt1 = [p for k, p in TABLE2_PROFILES.items() if k.startswith("lt1")]
+        gt1 = [p for k, p in TABLE2_PROFILES.items() if k.startswith("gt1")]
+        assert all(max(p.c_r, p.c_fm, p.c_fs) < 1 for p in lt1)
+        assert all(max(p.c_r, p.c_fm, p.c_fs) > 1 for p in gt1)
+
+    def test_table2_dominant_weights(self):
+        assert TABLE2_PROFILES["lt1-high-cr"].c_r > TABLE2_PROFILES["lt1-high-cr"].c_fm
+        assert (
+            TABLE2_PROFILES["gt1-high-cfs"].c_fs
+            > TABLE2_PROFILES["gt1-high-cfs"].c_r
+        )
+
+
+class TestUsmAccumulator:
+    def test_naive_usm_equals_success_ratio(self):
+        acc = UsmAccumulator(PenaltyProfile.naive())
+        for _ in range(3):
+            acc.record(Outcome.SUCCESS)
+        acc.record(Outcome.REJECTED)
+        acc.record(Outcome.DEADLINE_MISS)
+        assert acc.average_usm() == pytest.approx(0.6)
+
+    def test_eq5_decomposition(self):
+        profile = PenaltyProfile(c_r=0.5, c_fm=0.2, c_fs=0.1)
+        acc = UsmAccumulator(profile)
+        acc.record(Outcome.SUCCESS)
+        acc.record(Outcome.REJECTED)
+        acc.record(Outcome.DEADLINE_MISS)
+        acc.record(Outcome.DATA_STALE)
+        parts = acc.components()
+        assert acc.average_usm() == pytest.approx(
+            parts["S"] - parts["R"] - parts["F_m"] - parts["F_s"]
+        )
+
+    def test_empty_accumulator(self):
+        acc = UsmAccumulator(PenaltyProfile.naive())
+        assert acc.average_usm() == 0.0
+        assert acc.total_usm() == 0.0
+
+    def test_from_counts(self):
+        profile = PenaltyProfile(c_r=1.0, c_fm=1.0, c_fs=1.0)
+        acc = UsmAccumulator.from_counts(
+            profile, {Outcome.SUCCESS: 4, Outcome.REJECTED: 1}
+        )
+        assert acc.total_queries == 5
+        assert acc.average_usm() == pytest.approx((4 - 1) / 5)
+
+    @given(
+        st.lists(st.sampled_from(OUTCOMES), min_size=1, max_size=100),
+        st.floats(min_value=0, max_value=10),
+        st.floats(min_value=0, max_value=10),
+        st.floats(min_value=0, max_value=10),
+    )
+    def test_property_average_usm_within_bounds(self, outcomes, c_r, c_fm, c_fs):
+        profile = PenaltyProfile(c_r=c_r, c_fm=c_fm, c_fs=c_fs)
+        acc = UsmAccumulator(profile)
+        for outcome in outcomes:
+            acc.record(outcome)
+        usm = acc.average_usm()
+        assert profile.usm_min - 1e-9 <= usm <= profile.usm_max + 1e-9
+
+    @given(st.lists(st.sampled_from(OUTCOMES), min_size=1, max_size=100))
+    def test_property_total_equals_sum_of_contributions(self, outcomes):
+        """Eq. 4 (grouped sums) must equal Eq. 2 (per-query sum)."""
+        profile = PenaltyProfile(c_r=0.3, c_fm=0.7, c_fs=1.3)
+        acc = UsmAccumulator(profile)
+        expected = 0.0
+        for outcome in outcomes:
+            acc.record(outcome)
+            expected += profile.contribution(outcome)
+        assert acc.total_usm() == pytest.approx(expected)
+
+    def test_ratios_sum_to_one(self):
+        acc = UsmAccumulator(PenaltyProfile.naive())
+        for outcome in OUTCOMES:
+            acc.record(outcome)
+        assert sum(acc.ratios().values()) == pytest.approx(1.0)
+
+
+class TestUsmWindow:
+    def test_windowed_average(self):
+        window = UsmWindow(PenaltyProfile(c_r=1.0, c_fm=1.0, c_fs=1.0), window=10.0)
+        window.record(0.0, Outcome.REJECTED)  # will age out
+        window.record(11.0, Outcome.SUCCESS)
+        window.record(12.0, Outcome.SUCCESS)
+        assert window.average_usm(20.0) == pytest.approx(1.0)
+
+    def test_empty_window_returns_none(self):
+        window = UsmWindow(PenaltyProfile.naive(), window=10.0)
+        assert window.average_usm(100.0) is None
+
+    def test_cost_components(self):
+        profile = PenaltyProfile(c_r=0.5, c_fm=0.2, c_fs=0.1)
+        window = UsmWindow(profile, window=100.0)
+        window.record(1.0, Outcome.REJECTED)
+        window.record(1.0, Outcome.SUCCESS)
+        costs = window.cost_components(2.0)
+        assert costs["R"] == pytest.approx(0.25)
+        assert costs["F_m"] == 0.0
+
+    def test_raw_failure_ratios(self):
+        window = UsmWindow(PenaltyProfile.naive(), window=100.0)
+        window.record(1.0, Outcome.DEADLINE_MISS)
+        window.record(1.0, Outcome.SUCCESS)
+        raw = window.raw_failure_ratios(2.0)
+        assert raw["F_m"] == pytest.approx(0.5)
+        assert raw["R"] == 0.0

@@ -1,0 +1,138 @@
+"""Tests for data items and the drop-based staleness lag."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.db.items import DataItem, ItemTable
+
+
+def make_item(**kwargs):
+    defaults = dict(item_id=0, ideal_period=10.0, update_exec_time=0.1)
+    defaults.update(kwargs)
+    return DataItem(**defaults)
+
+
+class TestDataItem:
+    def test_initial_state_is_fresh(self):
+        item = make_item()
+        assert item.udrop == 0
+        assert not item.is_degraded
+        assert item.current_period == item.ideal_period
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_item(ideal_period=0.0)
+        with pytest.raises(ValueError):
+            make_item(update_exec_time=-1.0)
+        with pytest.raises(ValueError):
+            make_item(current_period=5.0)  # below ideal 10.0
+
+    def test_queued_arrival_does_not_stale(self):
+        """Only *dropped* arrivals count toward Udrop (paper Eq. 1)."""
+        item = make_item()
+        item.record_arrival(1.0)
+        assert item.udrop == 0  # queued for execution, not dropped
+
+    def test_drop_increases_lag(self):
+        item = make_item()
+        item.record_arrival(1.0)
+        item.record_drop()
+        assert item.udrop == 1
+        item.record_arrival(2.0)
+        item.record_drop()
+        assert item.udrop == 2
+
+    def test_applying_newest_update_clears_lag(self):
+        item = make_item()
+        for t in (1.0, 2.0, 3.0):
+            item.record_arrival(t)
+            item.record_drop()
+        seq = item.record_arrival(4.0)
+        item.apply_update(seq, 4.5)
+        assert item.udrop == 0
+
+    def test_applying_stale_update_keeps_lag(self):
+        item = make_item()
+        old_seq = item.record_arrival(1.0)
+        item.record_arrival(2.0)
+        item.record_drop()
+        item.apply_update(old_seq, 3.0)  # older than the drop
+        assert item.udrop == 1
+
+    def test_apply_never_regresses_seq(self):
+        item = make_item()
+        first = item.record_arrival(1.0)
+        second = item.record_arrival(2.0)
+        item.apply_update(second, 2.5)
+        item.apply_update(first, 3.0)  # out-of-order commit
+        assert item.applied_seq == second
+
+    def test_degrade_stretches_period(self):
+        item = make_item()
+        new_period = item.degrade_period(0.1)
+        assert new_period == pytest.approx(11.0)
+        assert item.is_degraded
+
+    def test_upgrade_subtracts_in_ideal_units_with_floor(self):
+        item = make_item()
+        item.degrade_period(0.1)  # 11.0
+        item.upgrade_period(0.5)  # -5.0 -> floored at 10.0
+        assert item.current_period == pytest.approx(10.0)
+        assert not item.is_degraded
+
+    def test_deep_degradation_recovers_gradually(self):
+        item = make_item()
+        for _ in range(30):
+            item.degrade_period(0.1)
+        deep = item.current_period
+        item.upgrade_period(0.5)
+        assert item.current_period == pytest.approx(deep - 5.0)
+
+    def test_reset_period(self):
+        item = make_item()
+        item.degrade_period(0.5)
+        item.reset_period()
+        assert item.current_period == item.ideal_period
+
+    @given(st.lists(st.sampled_from(["drop", "apply"]), min_size=1, max_size=60))
+    def test_property_lag_never_negative_and_bounded_by_drops(self, ops):
+        item = make_item()
+        t = 0.0
+        drops_since_apply = 0
+        for op in ops:
+            t += 1.0
+            seq = item.record_arrival(t)
+            if op == "drop":
+                item.record_drop()
+                drops_since_apply += 1
+            else:
+                item.apply_update(seq, t)
+                drops_since_apply = 0
+            assert item.udrop >= 0
+            assert item.udrop == drops_since_apply
+
+
+class TestItemTable:
+    def test_uniform_builder(self):
+        table = ItemTable.uniform(4, ideal_period=5.0, update_exec_time=0.1)
+        assert len(table) == 4
+        assert table[2].item_id == 2
+
+    def test_requires_dense_ids(self):
+        items = [make_item(item_id=0), make_item(item_id=2)]
+        with pytest.raises(ValueError):
+            ItemTable(items)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ItemTable([])
+
+    def test_degraded_items_and_totals(self):
+        table = ItemTable.uniform(3, ideal_period=5.0, update_exec_time=0.1)
+        table[1].degrade_period(0.2)
+        assert [item.item_id for item in table.degraded_items()] == [1]
+        table[0].record_arrival(1.0)
+        table[0].record_drop()
+        totals = table.totals()
+        assert totals["arrivals"] == 1
+        assert totals["dropped"] == 1

@@ -1,0 +1,135 @@
+"""Tests for the dual-priority EDF ready queue."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.db.ready_queue import ReadyQueue
+from repro.db.transactions import QueryTransaction, UpdateTransaction
+
+
+def query(txn_id, deadline, exec_time=0.1):
+    return QueryTransaction(
+        txn_id=txn_id,
+        arrival=0.0,
+        exec_time=exec_time,
+        items=(0,),
+        relative_deadline=deadline,
+    )
+
+
+def update(txn_id, period, exec_time=0.1):
+    return UpdateTransaction(
+        txn_id=txn_id, arrival=0.0, exec_time=exec_time, item_id=0, period=period
+    )
+
+
+def test_updates_pop_before_queries():
+    rq = ReadyQueue()
+    rq.push(query(1, deadline=0.01))  # most urgent query
+    rq.push(update(2, period=1000.0))  # most relaxed update
+    assert rq.pop().txn_id == 2
+
+
+def test_edf_within_class():
+    rq = ReadyQueue()
+    rq.push(query(1, deadline=5.0))
+    rq.push(query(2, deadline=1.0))
+    rq.push(query(3, deadline=3.0))
+    assert [rq.pop().txn_id for _ in range(3)] == [2, 3, 1]
+
+
+def test_peek_does_not_remove():
+    rq = ReadyQueue()
+    rq.push(query(1, deadline=1.0))
+    assert rq.peek().txn_id == 1
+    assert len(rq) == 1
+
+
+def test_pop_empty_returns_none():
+    rq = ReadyQueue()
+    assert rq.pop() is None
+    assert rq.peek() is None
+
+
+def test_duplicate_push_rejected():
+    rq = ReadyQueue()
+    q = query(1, deadline=1.0)
+    rq.push(q)
+    with pytest.raises(ValueError):
+        rq.push(q)
+
+
+def test_lazy_removal():
+    rq = ReadyQueue()
+    q1, q2 = query(1, deadline=1.0), query(2, deadline=2.0)
+    rq.push(q1)
+    rq.push(q2)
+    rq.remove(q1)
+    assert q1 not in rq
+    assert rq.pop().txn_id == 2
+    assert rq.pop() is None
+
+
+def test_reinsertion_after_removal_allowed():
+    rq = ReadyQueue()
+    q = query(1, deadline=1.0)
+    rq.push(q)
+    rq.remove(q)
+    rq.push(q)
+    assert rq.pop().txn_id == 1
+
+
+def test_backlog_accounting():
+    rq = ReadyQueue()
+    rq.push(update(1, period=1.0, exec_time=0.5))
+    rq.push(update(2, period=2.0, exec_time=0.25))
+    rq.push(query(3, deadline=1.0, exec_time=0.1))
+    rq.push(query(4, deadline=5.0, exec_time=0.2))
+    assert rq.update_backlog() == pytest.approx(0.75)
+    assert rq.query_backlog_before(3.0) == pytest.approx(0.1)
+    assert rq.query_backlog_before(100.0) == pytest.approx(0.3)
+
+
+def test_compact_preserves_live_entries():
+    rq = ReadyQueue()
+    entries = [query(i, deadline=float(i)) for i in range(1, 8)]
+    for entry in entries:
+        rq.push(entry)
+    for entry in entries[::2]:
+        rq.remove(entry)
+    rq.compact()
+    popped = []
+    while True:
+        txn = rq.pop()
+        if txn is None:
+            break
+        popped.append(txn.txn_id)
+    assert popped == [2, 4, 6]
+
+
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.floats(min_value=0.01, max_value=100)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_property_pop_order_is_priority_order(entries):
+    rq = ReadyQueue()
+    txns = []
+    for index, (is_update, horizon) in enumerate(entries):
+        if is_update:
+            txn = update(index + 1, period=horizon)
+        else:
+            txn = query(index + 1, deadline=horizon)
+        txns.append(txn)
+        rq.push(txn)
+    popped = []
+    while True:
+        txn = rq.pop()
+        if txn is None:
+            break
+        popped.append(txn)
+    assert len(popped) == len(txns)
+    keys = [txn.priority_key() for txn in popped]
+    assert keys == sorted(keys)

@@ -1,0 +1,145 @@
+"""Tests for the simulated value layer and value-divergence freshness."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.db.items import DataItem
+from repro.db.values import RandomWalkStream, ValueDivergenceFreshness, ValueTable
+from repro.experiments.config import ExperimentConfig, SCALES
+from repro.experiments.runner import run_experiment
+
+
+def make_item(arrivals=0, applied=0):
+    item = DataItem(item_id=0, ideal_period=10.0, update_exec_time=0.1)
+    for k in range(arrivals):
+        item.record_arrival(float(k + 1))
+        if k + 1 > applied:
+            item.record_drop()
+    if applied:
+        item.apply_update(applied, float(applied))
+    return item
+
+
+class TestRandomWalk:
+    def test_initial_value(self):
+        stream = RandomWalkStream(initial=50.0, step_sigma=1.0, seed=1)
+        assert stream.value_at(0) == 50.0
+
+    def test_deterministic_and_order_independent(self):
+        a = RandomWalkStream(100.0, 1.0, seed=7)
+        b = RandomWalkStream(100.0, 1.0, seed=7)
+        assert a.value_at(10) == b.value_at(10)
+        # Querying out of order gives the same walk.
+        c = RandomWalkStream(100.0, 1.0, seed=7)
+        later = c.value_at(10)
+        earlier = c.value_at(3)
+        assert later == a.value_at(10)
+        assert earlier == a.value_at(3)
+
+    def test_zero_sigma_is_constant(self):
+        stream = RandomWalkStream(5.0, 0.0, seed=1)
+        assert stream.value_at(100) == 5.0
+
+    def test_negative_seqno_rejected(self):
+        with pytest.raises(ValueError):
+            RandomWalkStream(0.0, 1.0, seed=1).value_at(-1)
+
+    @given(st.integers(min_value=0, max_value=200))
+    def test_property_prefix_stability(self, seqno):
+        stream = RandomWalkStream(0.0, 1.0, seed=3)
+        first = stream.value_at(seqno)
+        stream.value_at(seqno + 50)  # extend the walk
+        assert stream.value_at(seqno) == first
+
+
+class TestValueTable:
+    def test_stored_and_source_values(self):
+        table = ValueTable(n_items=4, seed=9, step_sigma=1.0)
+        item = make_item(arrivals=5, applied=2)
+        stream = table.stream(0)
+        assert table.stored_value(item) == stream.value_at(2)
+        assert table.source_value(item) == stream.value_at(5)
+        assert table.divergence(item) == pytest.approx(
+            abs(stream.value_at(5) - stream.value_at(2))
+        )
+
+    def test_fresh_item_no_divergence(self):
+        table = ValueTable(n_items=4, seed=9)
+        item = make_item(arrivals=3, applied=3)
+        assert table.divergence(item) == 0.0
+
+    def test_bounds(self):
+        table = ValueTable(n_items=2, seed=1)
+        with pytest.raises(IndexError):
+            table.stream(2)
+        with pytest.raises(ValueError):
+            ValueTable(n_items=0, seed=1)
+
+
+class TestValueDivergenceFreshness:
+    def test_fresh_item_is_one(self):
+        table = ValueTable(n_items=2, seed=5)
+        metric = ValueDivergenceFreshness(table, scale=5.0)
+        assert metric.item_freshness(make_item(3, 3), 0.0) == 1.0
+
+    def test_divergence_lowers_freshness(self):
+        table = ValueTable(n_items=2, seed=5, step_sigma=10.0)
+        metric = ValueDivergenceFreshness(table, scale=5.0)
+        stale = make_item(arrivals=20, applied=1)
+        assert metric.item_freshness(stale, 0.0) < 1.0
+
+    def test_cancelling_steps_can_stay_fresh(self):
+        """The semantic difference vs the drift proxy: value distance,
+        not drop count, decides."""
+        table = ValueTable(n_items=2, seed=5, step_sigma=0.0)  # constant walk
+        metric = ValueDivergenceFreshness(table, scale=5.0)
+        very_stale_by_lag = make_item(arrivals=50, applied=1)
+        assert metric.item_freshness(very_stale_by_lag, 0.0) == 1.0
+
+    def test_floor_positive(self):
+        table = ValueTable(n_items=2, seed=5, step_sigma=100.0)
+        metric = ValueDivergenceFreshness(table, scale=0.5)
+        assert metric.item_freshness(make_item(50, 1), 0.0) > 0.0
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            ValueDivergenceFreshness(ValueTable(2, 1), scale=0.0)
+
+
+class TestEndToEnd:
+    def test_value_metric_through_runner(self):
+        report = run_experiment(
+            ExperimentConfig(
+                policy="unit",
+                update_trace="med-unif",
+                seed=5,
+                scale=SCALES["smoke"],
+                freshness_metric="value",
+                freshness_value_scale=3.0,
+            )
+        )
+        assert sum(report.outcome_counts.values()) == report.queries_submitted
+
+    def test_wide_scale_tolerates_more_staleness_than_lag(self):
+        from repro.db.transactions import Outcome
+
+        lag = run_experiment(
+            ExperimentConfig(
+                policy="unit", update_trace="med-unif", seed=5, scale=SCALES["smoke"]
+            )
+        )
+        value = run_experiment(
+            ExperimentConfig(
+                policy="unit",
+                update_trace="med-unif",
+                seed=5,
+                scale=SCALES["smoke"],
+                freshness_metric="value",
+                freshness_value_scale=50.0,  # very tolerant
+                freshness_value_sigma=0.5,
+            )
+        )
+        assert (
+            value.outcome_counts[Outcome.DATA_STALE]
+            <= lag.outcome_counts[Outcome.DATA_STALE]
+        )

@@ -1,0 +1,79 @@
+"""Tests for the command-line entry point and the sweep helper."""
+
+import pytest
+
+from repro.core.usm import PenaltyProfile
+from repro.experiments.__main__ import main
+from repro.experiments.config import SCALES
+from repro.experiments.sweep import run_grid
+
+
+class TestCli:
+    def test_table2_runs(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+
+    def test_table1_smoke_scale(self, capsys):
+        assert main(["table1", "--scale", "smoke", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "high-neg" in out
+
+    def test_fig6_smoke_scale(self, capsys):
+        assert main(["fig6", "--scale", "smoke", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6(a)" in out and "Figure 6(b)" in out
+
+    def test_run_dossier(self, capsys):
+        assert main(
+            ["run", "--policy", "odu", "--trace", "low-unif", "--scale", "smoke"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Outcomes" in out
+        assert "Response times" in out
+        assert "Timeline" in out
+        assert "ODU" in out
+
+    def test_run_dossier_elastic_policy(self, capsys):
+        assert main(
+            ["run", "--policy", "elastic", "--trace", "low-unif", "--scale", "smoke"]
+        ) == 0
+        assert "Elastic" in capsys.readouterr().out
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig9"])
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--scale", "galactic"])
+
+
+class TestSweep:
+    def test_grid_keys_and_pairing(self):
+        reports = run_grid(
+            policies=("imu", "odu"),
+            traces=("low-unif",),
+            profiles=(PenaltyProfile.naive(),),
+            scale=SCALES["smoke"],
+            seed=5,
+        )
+        assert set(reports) == {
+            ("imu", "low-unif", "naive"),
+            ("odu", "low-unif", "naive"),
+        }
+        imu = reports[("imu", "low-unif", "naive")]
+        odu = reports[("odu", "low-unif", "naive")]
+        # Paired workloads: identical query stream.
+        assert imu.queries_submitted == odu.queries_submitted
+
+    def test_grid_progress_lines(self, capsys):
+        run_grid(
+            policies=("imu",),
+            traces=("low-unif",),
+            profiles=(PenaltyProfile.naive(),),
+            scale=SCALES["smoke"],
+            seed=5,
+            progress=True,
+        )
+        assert "[sweep]" in capsys.readouterr().out

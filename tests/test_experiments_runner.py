@@ -1,0 +1,143 @@
+"""End-to-end tests of the experiment runner."""
+
+
+import pytest
+
+from repro.db.transactions import Outcome
+from repro.experiments.config import SCALES, ExperimentConfig, build_experiment
+from repro.experiments.runner import run_experiment
+
+SMOKE = SCALES["smoke"]
+
+
+class TestConfig:
+    def test_build_experiment_defaults(self):
+        config = build_experiment()
+        assert config.policy == "unit"
+        assert config.update_trace == "med-unif"
+        assert config.scale.name == "small"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            build_experiment(policy="magic")
+
+    def test_unknown_trace_rejected(self):
+        with pytest.raises(ValueError):
+            build_experiment(update_trace="med-diagonal")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            build_experiment(scale="galactic")
+
+    def test_label(self):
+        config = build_experiment(policy="odu", update_trace="low-neg")
+        assert config.label() == "odu/low-neg/naive"
+
+
+@pytest.mark.parametrize("policy", ["imu", "odu", "qmf", "unit"])
+class TestAllPolicies:
+    def test_runs_and_conserves_queries(self, policy):
+        config = ExperimentConfig(
+            policy=policy, update_trace="low-unif", seed=5, scale=SMOKE
+        )
+        report = run_experiment(config)
+        assert report.queries_submitted > 0
+        assert sum(report.outcome_counts.values()) == report.queries_submitted
+        assert sum(report.ratios.values()) == pytest.approx(1.0)
+
+    def test_usm_within_profile_bounds(self, policy):
+        config = ExperimentConfig(
+            policy=policy, update_trace="med-unif", seed=5, scale=SMOKE
+        )
+        report = run_experiment(config)
+        assert config.profile.usm_min <= report.usm <= config.profile.usm_max
+
+
+class TestDeterminism:
+    def test_same_seed_same_report(self):
+        a = run_experiment(
+            ExperimentConfig(policy="unit", update_trace="med-unif", seed=9, scale=SMOKE)
+        )
+        b = run_experiment(
+            ExperimentConfig(policy="unit", update_trace="med-unif", seed=9, scale=SMOKE)
+        )
+        assert a.outcome_counts == b.outcome_counts
+        assert a.usm == b.usm
+        assert a.update_counts_executed == b.update_counts_executed
+
+    def test_different_seeds_differ(self):
+        a = run_experiment(
+            ExperimentConfig(policy="unit", update_trace="med-unif", seed=1, scale=SMOKE)
+        )
+        b = run_experiment(
+            ExperimentConfig(policy="unit", update_trace="med-unif", seed=2, scale=SMOKE)
+        )
+        assert a.outcome_counts != b.outcome_counts or a.usm != b.usm
+
+    def test_policies_share_identical_workload(self):
+        """Same seed -> same query trace and update arrivals regardless
+        of policy (paired comparison discipline)."""
+        imu = run_experiment(
+            ExperimentConfig(policy="imu", update_trace="low-unif", seed=4, scale=SMOKE)
+        )
+        odu = run_experiment(
+            ExperimentConfig(policy="odu", update_trace="low-unif", seed=4, scale=SMOKE)
+        )
+        assert imu.queries_submitted == odu.queries_submitted
+        assert imu.update_arrivals == odu.update_arrivals
+        assert imu.query_access_counts == odu.query_access_counts
+
+
+class TestReportContents:
+    def test_per_item_series_sizes(self):
+        config = ExperimentConfig(
+            policy="unit", update_trace="med-unif", seed=5, scale=SMOKE
+        )
+        report = run_experiment(config)
+        n = SMOKE.n_items
+        assert len(report.query_access_counts) == n
+        assert len(report.update_counts_original) == n
+        assert len(report.update_counts_executed) == n
+
+    def test_imu_executes_everything(self):
+        report = run_experiment(
+            ExperimentConfig(policy="imu", update_trace="low-unif", seed=5, scale=SMOKE)
+        )
+        assert report.updates_dropped == 0
+        assert report.updates_executed == report.update_arrivals
+
+    def test_odu_drops_all_periodic_arrivals(self):
+        report = run_experiment(
+            ExperimentConfig(policy="odu", update_trace="low-unif", seed=5, scale=SMOKE)
+        )
+        assert report.updates_dropped == report.update_arrivals
+
+    def test_imu_and_odu_never_go_stale(self):
+        """Paper: both baselines achieve 100% freshness by construction."""
+        for policy in ("imu", "odu"):
+            report = run_experiment(
+                ExperimentConfig(
+                    policy=policy, update_trace="med-unif", seed=5, scale=SMOKE
+                )
+            )
+            assert report.outcome_counts[Outcome.DATA_STALE] == 0
+
+    def test_records_kept_when_requested(self):
+        config = ExperimentConfig(
+            policy="imu",
+            update_trace="low-unif",
+            seed=5,
+            scale=SMOKE,
+            keep_records=True,
+        )
+        report = run_experiment(config)
+        assert report.records is not None
+        assert len(report.records) == report.queries_submitted
+
+    def test_summary_renders(self):
+        report = run_experiment(
+            ExperimentConfig(policy="unit", update_trace="low-unif", seed=5, scale=SMOKE)
+        )
+        text = report.summary()
+        assert "UNIT" in text
+        assert "USM" in text

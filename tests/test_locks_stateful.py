@@ -1,0 +1,130 @@
+"""Stateful property testing of the 2PL-HP lock manager.
+
+A hypothesis rule machine drives random interleavings of request /
+release / cancel operations across transactions of both classes and
+checks the safety invariants after every step:
+
+* never two incompatible holders on one item;
+* the holder/held_by maps agree;
+* every waiter is outranked by a holder or an earlier waiter (the
+  no-deadlock argument);
+* a transaction waits on at most one item.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.db.locks import LockManager, LockMode, LockStatus
+from repro.db.transactions import QueryTransaction, UpdateTransaction
+
+N_ITEMS = 3
+
+
+class LockMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.locks = LockManager()
+        self.txns = {}
+        self.next_id = 1
+        self.live = set()  # txn ids neither released nor aborted
+
+    def _new_txn(self, is_update, horizon):
+        txn_id = self.next_id
+        self.next_id += 1
+        if is_update:
+            txn = UpdateTransaction(
+                txn_id=txn_id,
+                arrival=0.0,
+                exec_time=0.1,
+                item_id=0,
+                period=horizon,
+            )
+        else:
+            txn = QueryTransaction(
+                txn_id=txn_id,
+                arrival=0.0,
+                exec_time=0.1,
+                items=(0,),
+                relative_deadline=horizon,
+            )
+        self.txns[txn_id] = txn
+        self.live.add(txn_id)
+        return txn
+
+    @rule(
+        is_update=st.booleans(),
+        horizon=st.floats(min_value=0.1, max_value=100.0),
+        item=st.integers(min_value=0, max_value=N_ITEMS - 1),
+    )
+    def request(self, is_update, horizon, item):
+        txn = self._new_txn(is_update, horizon)
+        mode = LockMode.WRITE if is_update else LockMode.READ
+        while True:
+            result = self.locks.request(txn, item, mode)
+            if result.status is not LockStatus.CONFLICT:
+                break
+            for victim in result.victims:
+                self.locks.release_all(victim)
+                self.live.discard(victim.txn_id)
+
+    @rule(pick=st.integers(min_value=0, max_value=10_000))
+    def release_some_live_txn(self, pick):
+        if not self.live:
+            return
+        txn_id = sorted(self.live)[pick % len(self.live)]
+        self.locks.release_all(self.txns[txn_id])
+        self.live.discard(txn_id)
+
+    @rule(pick=st.integers(min_value=0, max_value=10_000))
+    def cancel_some_wait(self, pick):
+        waiting = [t for t in self.live if self.locks.is_waiting(self.txns[t])]
+        if not waiting:
+            return
+        txn_id = sorted(waiting)[pick % len(waiting)]
+        self.locks.cancel_wait(self.txns[txn_id])
+
+    @invariant()
+    def no_incompatible_holders(self):
+        for item in range(N_ITEMS):
+            modes = [mode for _, mode in self.locks.holders_of(item)]
+            writers = sum(1 for mode in modes if mode is LockMode.WRITE)
+            assert writers <= 1
+            if writers == 1:
+                assert len(modes) == 1
+
+    @invariant()
+    def held_by_map_agrees(self):
+        for item in range(N_ITEMS):
+            for txn_id, _ in self.locks.holders_of(item):
+                assert item in self.locks.held_items(self.txns[txn_id])
+
+    @invariant()
+    def waiters_are_outranked(self):
+        for item in range(N_ITEMS):
+            holder_keys = [
+                self.txns[txn_id].priority_key()
+                for txn_id, _ in self.locks.holders_of(item)
+            ]
+            waiter_ids = self.locks.waiters_of(item)
+            for position, waiter_id in enumerate(waiter_ids):
+                key = self.txns[waiter_id].priority_key()
+                earlier = [
+                    self.txns[other].priority_key()
+                    for other in waiter_ids[:position]
+                ]
+                assert any(k < key for k in holder_keys + earlier), (
+                    f"waiter {waiter_id} on item {item} is not outranked"
+                )
+
+    @invariant()
+    def single_wait_per_txn(self):
+        for txn_id in self.live:
+            txn = self.txns[txn_id]
+            waited = self.locks.waited_item(txn)
+            if waited is not None:
+                assert txn_id in self.locks.waiters_of(waited)
+
+
+TestLockMachine = LockMachine.TestCase
+TestLockMachine.settings = settings(max_examples=40, stateful_step_count=30)

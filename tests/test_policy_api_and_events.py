@@ -1,0 +1,72 @@
+"""Coverage for the policy-hook defaults and raw event ordering."""
+
+from repro.db.items import ItemTable
+from repro.db.policy_api import ServerPolicy
+from repro.db.server import Server, ServerConfig
+from repro.db.transactions import QueryTransaction
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+
+
+class MinimalPolicy(ServerPolicy):
+    """Implements only the two abstract hooks; defaults for the rest."""
+
+    def admit_query(self, query, server):
+        return True
+
+    def should_apply_update(self, item, server):
+        return True
+
+
+class TestPolicyDefaults:
+    def make(self):
+        sim = Simulator()
+        items = ItemTable.uniform(2, ideal_period=5.0, update_exec_time=0.1)
+        return sim, Server(sim, items, MinimalPolicy(), ServerConfig())
+
+    def test_default_hooks_are_noops(self):
+        """A policy with only the two decisions implemented runs a full
+        query + update lifecycle without errors."""
+        sim, server = self.make()
+        txn = QueryTransaction(
+            txn_id=server.next_txn_id(),
+            arrival=0.0,
+            exec_time=0.1,
+            items=(0,),
+            relative_deadline=1.0,
+        )
+        sim.schedule(0.0, lambda: server.submit_query(txn))
+        sim.schedule(0.5, lambda: server.source_update_arrival(1))
+        sim.run()
+        assert len(server.records) == 1
+        assert server.items[1].updates_executed == 1
+
+    def test_default_stale_at_read_lets_query_proceed(self):
+        policy = MinimalPolicy()
+        assert policy.on_query_stale_at_read(None, None) is False
+
+    def test_describe_defaults_to_class_name(self):
+        assert MinimalPolicy().describe() == "MinimalPolicy"
+
+
+class TestEventOrdering:
+    def test_total_order(self):
+        early = Event(time=1.0, priority=0, seq=1)
+        later_time = Event(time=2.0, priority=-5, seq=0)
+        same_time_higher_priority = Event(time=1.0, priority=-1, seq=2)
+        same_everything_later_seq = Event(time=1.0, priority=0, seq=3)
+        assert early < later_time
+        assert same_time_higher_priority < early
+        assert early < same_everything_later_seq
+
+    def test_cancelled_event_does_not_invoke_callback(self):
+        fired = []
+        event = Event(time=1.0, callback=lambda: fired.append(1))
+        event.cancelled = True
+        event.fire()
+        assert fired == []
+
+    def test_fire_invokes_callback(self):
+        fired = []
+        Event(time=1.0, callback=lambda: fired.append(1)).fire()
+        assert fired == [1]

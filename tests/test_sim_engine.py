@@ -1,0 +1,190 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+    assert sim.pending == 0
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, lambda: fired.append("c"))
+    sim.schedule(1.0, lambda: fired.append("a"))
+    sim.schedule(2.0, lambda: fired.append("b"))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_same_time_events_fire_in_priority_then_fifo_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append("late"), priority=5)
+    sim.schedule(1.0, lambda: fired.append("first"), priority=-1)
+    sim.schedule(1.0, lambda: fired.append("second"), priority=-1)
+    sim.run()
+    assert fired == ["first", "second", "late"]
+
+
+def test_schedule_after_uses_relative_delay():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5.0, lambda: sim.schedule_after(2.0, lambda: seen.append(sim.now)))
+    sim.run()
+    assert seen == [7.0]
+
+
+def test_cannot_schedule_in_the_past():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule(0.5, lambda: None)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_after(-1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    timer = sim.schedule(1.0, lambda: fired.append("x"))
+    sim.schedule(2.0, lambda: fired.append("y"))
+    timer.cancel()
+    assert not timer.active
+    sim.run()
+    assert fired == ["y"]
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    timer = sim.schedule(1.0, lambda: None)
+    timer.cancel()
+    timer.cancel()
+    assert not timer.active
+
+
+def test_run_until_stops_clock_at_horizon():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(10.0, lambda: fired.append(10))
+    sim.run(until=5.0)
+    assert fired == [1]
+    assert sim.now == 5.0
+    # The later event is still pending and fires on a subsequent run.
+    sim.run()
+    assert fired == [1, 10]
+
+
+def test_event_at_exact_until_boundary_fires():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, lambda: fired.append("edge"))
+    sim.run(until=5.0)
+    assert fired == ["edge"]
+
+
+def test_step_returns_false_when_drained():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_max_events_bounds_execution():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_events_fired_counts_only_live_events():
+    sim = Simulator()
+    timer = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    timer.cancel()
+    sim.run()
+    assert sim.events_fired == 1
+
+
+def test_events_scheduled_during_run_fire_in_order():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 5:
+            sim.schedule_after(1.0, lambda: chain(n + 1))
+
+    sim.schedule(0.0, lambda: chain(0))
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert sim.now == 5.0
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def inner():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(1.0, inner)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_peek_time_skips_cancelled():
+    sim = Simulator()
+    timer = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    timer.cancel()
+    assert sim.peek_time() == 2.0
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=60))
+def test_property_firing_order_is_sorted(times):
+    """Whatever times are scheduled, callbacks observe a nondecreasing clock."""
+    sim = Simulator()
+    observed = []
+    for t in times:
+        sim.schedule(t, lambda: observed.append(sim.now))
+    sim.run()
+    assert observed == sorted(observed)
+    assert len(observed) == len(times)
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(min_value=0, max_value=100), st.booleans()),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_property_cancelled_subset_never_fires(entries):
+    sim = Simulator()
+    fired = []
+    cancelled_count = 0
+    for index, (t, cancel) in enumerate(entries):
+        timer = sim.schedule(t, lambda i=index: fired.append(i))
+        if cancel:
+            timer.cancel()
+            cancelled_count += 1
+    sim.run()
+    assert len(fired) == len(entries) - cancelled_count

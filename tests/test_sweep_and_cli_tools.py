@@ -1,0 +1,87 @@
+"""Tests for the parallel sweep and the workload CLI."""
+
+import pytest
+
+from repro.core.usm import PenaltyProfile
+from repro.experiments.config import SCALES
+from repro.experiments.sweep import run_grid, run_grid_parallel
+from repro.workload.__main__ import main as workload_main
+
+SMOKE = SCALES["smoke"]
+
+
+class TestParallelSweep:
+    def test_matches_serial_results(self):
+        kwargs = dict(
+            policies=("imu", "odu"),
+            traces=("low-unif",),
+            profiles=(PenaltyProfile.naive(),),
+            scale=SMOKE,
+            seed=5,
+        )
+        serial = run_grid(**kwargs)
+        parallel = run_grid_parallel(workers=2, **kwargs)
+        assert set(serial) == set(parallel)
+        for key in serial:
+            assert serial[key].usm == parallel[key].usm
+            assert serial[key].outcome_counts == parallel[key].outcome_counts
+
+    def test_single_worker_fallback(self):
+        reports = run_grid_parallel(
+            policies=("imu",),
+            traces=("low-unif",),
+            profiles=(PenaltyProfile.naive(),),
+            scale=SMOKE,
+            seed=5,
+            workers=1,
+        )
+        assert len(reports) == 1
+
+    def test_empty_grid(self):
+        assert run_grid_parallel((), (), (), SMOKE) == {}
+
+
+class TestWorkloadCli:
+    def test_generate_and_inspect_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "bundle.json"
+        rc = workload_main(
+            [
+                "generate",
+                "--scale",
+                "smoke",
+                "--seed",
+                "5",
+                "--traces",
+                "low-unif",
+                "med-neg",
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+        rc = workload_main(["inspect", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "low-unif" in text and "med-neg" in text
+        assert "corr w/ queries" in text
+
+    def test_unknown_trace_fails(self, tmp_path, capsys):
+        rc = workload_main(
+            [
+                "generate",
+                "--scale",
+                "smoke",
+                "--traces",
+                "med-diagonal",
+                "--out",
+                str(tmp_path / "x.json"),
+            ]
+        )
+        assert rc == 2
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            workload_main([])

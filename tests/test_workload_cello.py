@@ -1,0 +1,79 @@
+"""Tests for the synthetic cello99a-like trace generator."""
+
+import pytest
+
+from repro.sim.rng import RandomStreams
+from repro.workload.cello import CelloConfig, access_histogram, generate_cello_trace
+
+
+def small_config(**overrides):
+    defaults = dict(
+        horizon=500.0,
+        n_items=64,
+        query_utilization=0.5,
+        mean_service=0.05,
+    )
+    defaults.update(overrides)
+    return CelloConfig(**defaults)
+
+
+def test_records_within_horizon_and_sorted():
+    records = generate_cello_trace(small_config(), RandomStreams(1))
+    assert records
+    arrivals = [r.arrival for r in records]
+    assert arrivals == sorted(arrivals)
+    assert arrivals[-1] <= 500.0
+    assert all(0 <= r.region < 64 for r in records)
+    assert all(r.service_time > 0 for r in records)
+
+
+def test_deterministic_given_seed():
+    a = generate_cello_trace(small_config(), RandomStreams(7))
+    b = generate_cello_trace(small_config(), RandomStreams(7))
+    assert a == b
+
+
+def test_different_seeds_differ():
+    a = generate_cello_trace(small_config(), RandomStreams(1))
+    b = generate_cello_trace(small_config(), RandomStreams(2))
+    assert a != b
+
+
+def test_utilization_matches_target():
+    config = small_config(horizon=5000.0)
+    records = generate_cello_trace(config, RandomStreams(3))
+    demand = sum(r.service_time for r in records)
+    assert demand / config.horizon == pytest.approx(0.5, rel=0.15)
+
+
+def test_mean_rate_derivation():
+    config = small_config()
+    assert config.mean_arrival_rate == pytest.approx(10.0)
+
+
+def test_histogram_is_skewed():
+    config = small_config(horizon=2000.0, zipf_skew=1.3)
+    records = generate_cello_trace(config, RandomStreams(5))
+    histogram = access_histogram(records, config.n_items)
+    assert sum(histogram) == len(records)
+    top = max(histogram)
+    mean = sum(histogram) / len(histogram)
+    assert top > 5 * mean  # heavy skew: hottest region way above average
+
+
+def test_zero_skew_spreads_accesses():
+    config = small_config(horizon=2000.0, zipf_skew=0.0)
+    records = generate_cello_trace(config, RandomStreams(5))
+    histogram = access_histogram(records, config.n_items)
+    top = max(histogram)
+    mean = sum(histogram) / len(histogram)
+    assert top < 2.5 * mean
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        small_config(horizon=0.0)
+    with pytest.raises(ValueError):
+        small_config(n_items=0)
+    with pytest.raises(ValueError):
+        small_config(mean_service=0.0)

@@ -1,0 +1,66 @@
+"""Tests for correlated weight construction (Table 1's ±0.8)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workload.correlation import correlated_weights, pearson
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_constant_vector_returns_zero(self):
+        assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pearson([1, 2], [1])
+
+    def test_short_vectors(self):
+        assert pearson([1.0], [2.0]) == 0.0
+
+
+class TestCorrelatedWeights:
+    def reference(self, n=200, seed=0):
+        rng = random.Random(seed)
+        return [rng.expovariate(1.0) * 100 for _ in range(n)]
+
+    @pytest.mark.parametrize("rho", [0.8, -0.8, 0.0, 0.5])
+    def test_exact_sample_correlation(self, rho):
+        reference = self.reference()
+        weights = correlated_weights(reference, rho, random.Random(42))
+        assert pearson(weights, reference) == pytest.approx(rho, abs=1e-9)
+
+    def test_weights_non_negative(self):
+        weights = correlated_weights(self.reference(), 0.8, random.Random(1))
+        assert min(weights) >= 0.0
+        assert max(weights) > 0.0
+
+    def test_rho_out_of_range(self):
+        with pytest.raises(ValueError):
+            correlated_weights(self.reference(), 1.5, random.Random(0))
+
+    def test_constant_reference_rejected(self):
+        with pytest.raises(ValueError):
+            correlated_weights([5.0] * 10, 0.8, random.Random(0))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            correlated_weights([1.0, 2.0], 0.8, random.Random(0))
+
+    @settings(max_examples=25)
+    @given(
+        st.floats(min_value=-0.95, max_value=0.95),
+        st.integers(min_value=0, max_value=1000),
+    )
+    def test_property_correlation_hits_target(self, rho, seed):
+        reference = self.reference(n=64, seed=3)
+        weights = correlated_weights(reference, rho, random.Random(seed))
+        assert pearson(weights, reference) == pytest.approx(rho, abs=1e-6)
+        assert min(weights) >= 0.0

@@ -1,0 +1,101 @@
+"""Tests for the real-trace importer."""
+
+import pytest
+
+from repro.sim.rng import RandomStreams
+from repro.workload.import_trace import (
+    TraceFormatError,
+    import_access_trace,
+)
+from repro.workload.queries import build_query_trace
+
+SAMPLE = """\
+# cello-like sample: arrival response location [r|w]
+100.0  0.010  4096   r
+100.5  0.020  8192   r
+101.0  0.050  4096   w
+102.0, 0.015, 65535, r
+103.0  0.012  0
+"""
+
+
+class TestParsing:
+    def test_basic_import(self):
+        trace = import_access_trace(SAMPLE.splitlines(), n_items=16)
+        assert trace.read_count == 4
+        assert trace.write_response_times == [0.050]
+        assert trace.n_items == 16
+
+    def test_arrivals_rebased_and_sorted(self):
+        trace = import_access_trace(SAMPLE.splitlines(), n_items=16)
+        arrivals = [record.arrival for record in trace.reads]
+        assert arrivals[0] == 0.0
+        assert arrivals == sorted(arrivals)
+        assert trace.horizon == pytest.approx(3.0)
+
+    def test_region_mapping_spans_range(self):
+        trace = import_access_trace(SAMPLE.splitlines(), n_items=16)
+        regions = {record.region for record in trace.reads}
+        assert all(0 <= region < 16 for region in regions)
+        # location 0 -> region 0, max location -> last region
+        assert 0 in regions
+        assert 15 in regions
+
+    def test_default_op_is_read(self):
+        trace = import_access_trace(["1.0 0.01 5"], n_items=4)
+        assert trace.read_count == 1
+
+    def test_comments_and_blanks_ignored(self):
+        trace = import_access_trace(
+            ["# header", "", "1.0 0.01 5 r", "   "], n_items=4
+        )
+        assert trace.read_count == 1
+
+
+class TestErrors:
+    def test_malformed_field_count(self):
+        with pytest.raises(TraceFormatError):
+            import_access_trace(["1.0 0.01"], n_items=4)
+
+    def test_bad_numbers(self):
+        with pytest.raises(TraceFormatError):
+            import_access_trace(["x 0.01 5"], n_items=4)
+
+    def test_bad_op_flag(self):
+        with pytest.raises(TraceFormatError):
+            import_access_trace(["1.0 0.01 5 z"], n_items=4)
+
+    def test_nonpositive_response(self):
+        with pytest.raises(TraceFormatError):
+            import_access_trace(["1.0 0.0 5 r"], n_items=4)
+
+    def test_no_reads(self):
+        with pytest.raises(TraceFormatError):
+            import_access_trace(["1.0 0.01 5 w"], n_items=4)
+
+    def test_invalid_n_items(self):
+        with pytest.raises(ValueError):
+            import_access_trace(SAMPLE.splitlines(), n_items=0)
+
+
+class TestFileAndPipeline:
+    def test_import_from_file(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text(SAMPLE)
+        trace = import_access_trace(path, n_items=8)
+        assert trace.read_count == 4
+
+    def test_feeds_query_trace_builder(self):
+        """The imported reads drop straight into the paper's query-trace
+        construction (deadlines from response times, 90% freshness)."""
+        imported = import_access_trace(SAMPLE.splitlines(), n_items=16)
+        query_trace = build_query_trace(
+            imported.reads,
+            n_items=imported.n_items,
+            streams=RandomStreams(3),
+            horizon=imported.horizon,
+        )
+        assert len(query_trace.queries) == imported.read_count
+        for query in query_trace.queries:
+            assert query.freshness_req == 0.9
+            assert query.relative_deadline > query.exec_time
