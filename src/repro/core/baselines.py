@@ -13,14 +13,22 @@
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Dict, Protocol
 
-from repro.db.items import DataItem
+from repro.db.items import DataItem, ItemTable
 from repro.db.policy_api import ServerPolicy
-from repro.db.transactions import QueryTransaction
+from repro.db.transactions import QueryTransaction, UpdateTransaction
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.db.server import Server
+
+
+class RefreshingPolicy(Protocol):
+    """What :func:`refresh_stale_items` needs from its host policy."""
+
+    _pending: Dict[int, UpdateTransaction]
+    refreshes_spawned: int
+    refreshes_shared: int
 
 
 class ImuPolicy(ServerPolicy):
@@ -55,7 +63,7 @@ class OduPolicy(ServerPolicy):
         self.dedup = dedup
         self.refreshes_spawned = 0
         self.refreshes_shared = 0
-        self._pending: dict = {}  # item_id -> UpdateTransaction
+        self._pending: Dict[int, UpdateTransaction] = {}
 
     def admit_query(self, query: QueryTransaction, server: "Server") -> bool:
         return True
@@ -70,7 +78,13 @@ class OduPolicy(ServerPolicy):
         return "ODU"
 
 
-def refresh_stale_items(policy, query, server: "Server", items, dedup: bool = True) -> bool:
+def refresh_stale_items(
+    policy: RefreshingPolicy,
+    query: QueryTransaction,
+    server: "Server",
+    items: ItemTable,
+    dedup: bool = True,
+) -> bool:
     """Shared on-demand refresh mechanics (used by ODU and QMF).
 
     Spawns (or, with ``dedup``, attaches to) a refresh for every stale

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 from repro.core.admission import AdmissionController
 from repro.core.controller import ControlSignal, LoadBalancingController
@@ -232,7 +232,7 @@ class UnitPolicy(ServerPolicy):
         smoothed = 0.7 * self.admission.update_load + 0.3 * min(1.0, share)
         self.admission.update_load = smoothed
 
-    def _apply_signals(self, signals) -> None:
+    def _apply_signals(self, signals: Sequence[ControlSignal]) -> None:
         assert self.admission is not None and self.modulator is not None
         if (
             self.config.degrade_on_rejections

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 from collections import deque
-from typing import Dict, Mapping, Optional
+from typing import Any, Deque, Dict, List, Mapping, Optional, Tuple
 
 from repro.db.transactions import Outcome
 
@@ -54,7 +54,9 @@ class PenaltyProfile:
             return -self.c_r
         if outcome is Outcome.DEADLINE_MISS:
             return -self.c_fm
-        return -self.c_fs
+        if outcome is Outcome.DATA_STALE:
+            return -self.c_fs
+        raise ValueError(f"unaccounted outcome {outcome!r}")
 
     @property
     def usm_min(self) -> float:
@@ -171,7 +173,7 @@ class MixedUsmAccumulator:
     def __init__(self, default_profile: PenaltyProfile) -> None:
         self.default_profile = default_profile
         self._total_usm = 0.0
-        self._by_class: Dict[str, Dict] = {}
+        self._by_class: Dict[str, Dict[str, Any]] = {}
 
     def record(
         self,
@@ -215,7 +217,8 @@ class MixedUsmAccumulator:
         count = bucket["count"]
         return {outcome: n / count for outcome, n in bucket["counts"].items()}
 
-    def classes(self):
+    def classes(self) -> List[str]:
+        """User-class labels seen so far, in stable sorted order."""
         return sorted(self._by_class)
 
 
@@ -235,7 +238,7 @@ class UsmWindow:
             raise ValueError("window must be positive")
         self.profile = profile
         self.window = window
-        self._events: deque = deque()  # (time, outcome, profile)
+        self._events: Deque[Tuple[float, Outcome, PenaltyProfile]] = deque()
 
     def record(
         self,
@@ -283,6 +286,8 @@ class UsmWindow:
         if not self._events:
             return costs
         for _, outcome, profile in self._events:
+            if outcome is Outcome.SUCCESS:
+                continue  # successes carry gain, not cost (Eq. 5's S term)
             if outcome is Outcome.REJECTED:
                 costs["R"] += profile.c_r
             elif outcome is Outcome.DEADLINE_MISS:

@@ -21,23 +21,25 @@ from typing import Dict, List
 
 from repro.db.freshness import FreshnessMetric
 from repro.db.items import DataItem
-from repro.sim.rng import derive_seed
+from repro.sim.rng import RandomStreams
 
 
 class RandomWalkStream:
     """A Gaussian random walk: ``value_at(k) = initial + sum of k steps``.
 
     ``value_at(0)`` is the initial (pre-first-update) value.  Steps are
-    generated lazily from a private seeded generator, so any prefix of
-    the walk is reproducible regardless of query order.
+    drawn lazily from the injected generator — a named
+    :class:`~repro.sim.rng.RandomStreams` substream, so this walk's
+    draws cannot perturb any other component's — and any prefix of the
+    walk is reproducible regardless of query order.
     """
 
-    def __init__(self, initial: float, step_sigma: float, seed: int) -> None:
+    def __init__(self, initial: float, step_sigma: float, rng: random.Random) -> None:
         if step_sigma < 0:
             raise ValueError("step_sigma must be non-negative")
         self.initial = initial
         self.step_sigma = step_sigma
-        self._rng = random.Random(seed)
+        self._rng = rng
         self._values: List[float] = [initial]
 
     def value_at(self, seqno: int) -> float:
@@ -68,6 +70,11 @@ class ValueTable:
         self.initial = initial
         self.step_sigma = step_sigma
         self._streams: Dict[int, RandomWalkStream] = {}
+        # One named substream per item: the walk for item i consumes
+        # "value-stream-i" and nothing else, so extending one item's
+        # walk never shifts another's (and the names match the previous
+        # derive_seed() scheme, keeping old seeds byte-compatible).
+        self._rngs = RandomStreams(seed)
 
     def stream(self, item_id: int) -> RandomWalkStream:
         if not 0 <= item_id < self.n_items:
@@ -76,7 +83,7 @@ class ValueTable:
             self._streams[item_id] = RandomWalkStream(
                 initial=self.initial,
                 step_sigma=self.step_sigma,
-                seed=derive_seed(self.seed, f"value-stream-{item_id}"),
+                rng=self._rngs.stream(f"value-stream-{item_id}"),
             )
         return self._streams[item_id]
 

@@ -1,0 +1,127 @@
+"""Rule base class, violation record, and the pluggable rule registry.
+
+A rule is a small class with a ``rule_id``, a human summary, a component
+scope (which top-level ``repro`` subpackages it patrols), and a
+``check`` method that yields :class:`Violation` records for one parsed
+file.  Rules self-register via the :func:`register` decorator, so adding
+a rule is: write the class, decorate it, import its module from
+``repro.lint.rules``.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Dict, FrozenSet, Iterator, List, Type
+
+#: Components (top-level ``repro`` subpackages) that constitute the
+#: deterministic simulation path.  Wall-clock reads and ambient RNG in
+#: any of these break seed-reproducibility of the figures.
+SIMULATION_COMPONENTS: FrozenSet[str] = frozenset({"sim", "db", "core", "workload"})
+
+#: Components whose scheduling / victim-selection decisions must not
+#: depend on hash ordering.
+DECISION_COMPONENTS: FrozenSet[str] = frozenset({"core", "db"})
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Violation:
+    """One finding: where it is, which rule fired, and what to do."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        """The canonical one-line text form (path:line:col: RULE message)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation (for ``--format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+
+class Rule:
+    """Base class for simlint rules.
+
+    Class attributes:
+        rule_id: Stable identifier (``SL001`` ...), used in reports and
+            in ``# simlint: disable=`` comments.
+        summary: One-line description shown by ``--list-rules``.
+        components: Subpackage names this rule patrols; empty means the
+            rule applies everywhere.
+        exempt_files: Posix path suffixes (e.g. ``sim/rng.py``) where
+            the rule is intentionally silent.
+    """
+
+    rule_id: str = ""
+    summary: str = ""
+    components: FrozenSet[str] = frozenset()
+    exempt_files: FrozenSet[str] = frozenset()
+
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:  # noqa: F821
+        """Yield violations for one parsed file.  Override in subclasses."""
+        raise NotImplementedError
+        yield  # pragma: no cover  (marks this as a generator)
+
+    # -- helpers shared by the concrete rules ---------------------------
+
+    def violation(
+        self,
+        ctx: "FileContext",  # noqa: F821
+        node: ast.AST,
+        message: str,
+    ) -> Violation:
+        """Build a :class:`Violation` anchored at ``node``."""
+        return Violation(
+            path=ctx.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add ``rule_cls`` to the global registry.
+
+    Re-registering the same ``rule_id`` with a *different* class is an
+    error (it would silently shadow a shipped rule); re-importing the
+    same class is a no-op so test reloads stay cheap.
+    """
+    rule_id = rule_cls.rule_id
+    if not rule_id:
+        raise ValueError(f"{rule_cls.__name__} does not define rule_id")
+    existing = _REGISTRY.get(rule_id)
+    if existing is not None and existing is not rule_cls:
+        raise ValueError(
+            f"duplicate rule id {rule_id!r}: {existing.__name__} vs {rule_cls.__name__}"
+        )
+    _REGISTRY[rule_id] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, sorted by id."""
+    return [_REGISTRY[rule_id]() for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Instantiate one rule by id (raises ``KeyError`` for unknown ids)."""
+    return _REGISTRY[rule_id]()
+
+
+def known_rule_ids() -> List[str]:
+    """Sorted ids of every registered rule."""
+    return sorted(_REGISTRY)

@@ -1,0 +1,126 @@
+"""The ``python -m repro.lint`` command line.
+
+Exit codes: 0 = clean, 1 = violations found, 2 = usage or I/O error
+(unknown rule, missing path, unparsable file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.base import all_rules
+from repro.lint.config import LintConfig
+from repro.lint.walker import LintError, lint_paths
+
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_ERROR = 2
+
+
+def _parse_rule_list(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [part.strip().upper() for part in raw.split(",") if part.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "simlint: AST-based determinism & USM-accounting checks "
+            "(rules SL001-SL006; see docs/static-analysis.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule in all_rules():
+            scope = ", ".join(sorted(rule.components)) if rule.components else "all"
+            print(f"{rule.rule_id}  [{scope}]  {rule.summary}")
+        return EXIT_CLEAN
+
+    select = _parse_rule_list(options.select)
+    if options.select is not None and not select:
+        # An empty selection would run zero rules and report "clean";
+        # treat it as the misconfiguration it almost certainly is.
+        print("error: --select given but names no rules", file=sys.stderr)
+        return EXIT_ERROR
+
+    try:
+        config = LintConfig.from_rule_ids(
+            select=select,
+            ignore=_parse_rule_list(options.ignore) or (),
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    try:
+        violations, files_checked = lint_paths(
+            [Path(p) for p in options.paths], config
+        )
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+
+    counts = Counter(v.rule_id for v in violations)
+    if options.format == "json":
+        payload = {
+            "ok": not violations,
+            "files_checked": files_checked,
+            "violation_count": len(violations),
+            "counts_by_rule": dict(sorted(counts.items())),
+            "violations": [v.as_dict() for v in violations],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for violation in violations:
+            print(violation.render())
+        noun = "file" if files_checked == 1 else "files"
+        if violations:
+            by_rule = ", ".join(f"{rule}: {n}" for rule, n in sorted(counts.items()))
+            print(
+                f"simlint: {len(violations)} violation(s) in {files_checked} {noun} "
+                f"({by_rule})"
+            )
+        else:
+            print(f"simlint: {files_checked} {noun} checked, no violations")
+
+    return EXIT_VIOLATIONS if violations else EXIT_CLEAN

@@ -1,0 +1,77 @@
+"""Lint run configuration: rule selection and scope overrides.
+
+The defaults encode this repo's layout (``src/repro/<component>/...``).
+A :class:`LintConfig` narrows which rules run (``select`` / ``ignore``)
+and can re-scope or re-exempt individual rules — used by the test suite
+to point rules at fixture trees, and available to future subpackages
+that need a different patrol area.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, Iterable, List, Optional
+
+from repro.lint.base import Rule, all_rules, known_rule_ids
+
+
+@dataclasses.dataclass(frozen=True)
+class LintConfig:
+    """Which rules run, and where.
+
+    Attributes:
+        select: If set, only these rule ids run.
+        ignore: Rule ids that never run (applied after ``select``).
+        component_overrides: Per-rule replacement of the component scope
+            (``{"SL001": frozenset({"sim"})}``); empty frozenset means
+            "apply everywhere".
+        exempt_overrides: Per-rule replacement of the exempt-file list.
+    """
+
+    select: Optional[FrozenSet[str]] = None
+    ignore: FrozenSet[str] = frozenset()
+    component_overrides: Dict[str, FrozenSet[str]] = dataclasses.field(
+        default_factory=dict
+    )
+    exempt_overrides: Dict[str, FrozenSet[str]] = dataclasses.field(
+        default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        known = set(known_rule_ids())
+        requested = set(self.select or ()) | set(self.ignore)
+        unknown = sorted(requested - known) if known else []
+        if unknown:
+            raise ValueError(
+                f"unknown rule id(s) {', '.join(unknown)}; known: {', '.join(sorted(known))}"
+            )
+
+    def rules(self) -> List[Rule]:
+        """Instantiate the active rules, with overrides applied."""
+        active: List[Rule] = []
+        for rule in all_rules():
+            if self.select is not None and rule.rule_id not in self.select:
+                continue
+            if rule.rule_id in self.ignore:
+                continue
+            if rule.rule_id in self.component_overrides:
+                rule.components = self.component_overrides[rule.rule_id]
+            if rule.rule_id in self.exempt_overrides:
+                rule.exempt_files = self.exempt_overrides[rule.rule_id]
+            active.append(rule)
+        return active
+
+    @classmethod
+    def from_rule_ids(
+        cls,
+        select: Optional[Iterable[str]] = None,
+        ignore: Iterable[str] = (),
+    ) -> "LintConfig":
+        """Convenience constructor from iterables of rule ids."""
+        return cls(
+            select=frozenset(select) if select is not None else None,
+            ignore=frozenset(ignore),
+        )
+
+
+DEFAULT_CONFIG = LintConfig()

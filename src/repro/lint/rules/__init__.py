@@ -1,0 +1,10 @@
+"""Built-in simlint rules.
+
+Importing this package registers every rule with the registry in
+:mod:`repro.lint.base`.  Add new rules by dropping a module here and
+importing it below.
+"""
+
+from repro.lint.rules import determinism, events, ordering, typing, usm
+
+__all__ = ["determinism", "events", "ordering", "typing", "usm"]

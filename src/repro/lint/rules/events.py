@@ -1,0 +1,78 @@
+"""SL005: Event records are engine-owned.
+
+:class:`repro.sim.events.Event` sits inside the simulator's binary
+heap; mutating its ordering fields (``time``, ``priority``, ``seq``)
+from outside corrupts the heap invariant silently, and flipping
+``cancelled`` / ``callback`` directly bypasses the :class:`Timer`
+contract (lazy deletion, idempotent cancel).  Only the engine modules
+may touch Event fields; everyone else goes through ``Timer.cancel()``
+or schedules a fresh event.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, Optional
+
+from repro.lint.base import Rule, Violation, register
+
+#: Fields whose names are distinctive enough to flag on any receiver.
+_EVENT_ONLY_FIELDS: FrozenSet[str] = frozenset({"cancelled", "callback", "seq"})
+#: Generic names: flagged only when the receiver looks like an Event.
+_AMBIGUOUS_FIELDS: FrozenSet[str] = frozenset({"time", "priority"})
+_EVENTISH_NAMES: FrozenSet[str] = frozenset({"event", "evt", "ev", "_event"})
+
+
+def _receiver_is_eventish(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        name = node.id.lower()
+    elif isinstance(node, ast.Attribute):
+        name = node.attr.lower()
+    else:
+        return False
+    return name in _EVENTISH_NAMES or name.endswith("_event")
+
+
+@register
+class EventMutationRule(Rule):
+    """SL005: no mutation of Event fields outside the engine modules."""
+
+    rule_id = "SL005"
+    summary = "Event fields are mutated only inside sim/engine.py and sim/events.py"
+    exempt_files = frozenset({"sim/engine.py", "sim/events.py"})
+
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:  # noqa: F821
+        for node in ast.walk(ctx.tree):
+            targets: list
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            else:
+                continue
+            for target in targets:
+                message = self._mutation_message(target)
+                if message is not None:
+                    yield self.violation(ctx, target, message)
+
+    def _mutation_message(self, target: ast.expr) -> Optional[str]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                message = self._mutation_message(elt)
+                if message is not None:
+                    return message
+            return None
+        if not isinstance(target, ast.Attribute):
+            return None
+        attr = target.attr
+        if attr in _EVENT_ONLY_FIELDS:
+            return (
+                f"assignment to .{attr} outside the engine; Event state is "
+                "engine-owned — use Timer.cancel() or schedule a new event"
+            )
+        if attr in _AMBIGUOUS_FIELDS and _receiver_is_eventish(target.value):
+            return (
+                f"assignment to Event.{attr} outside the engine would corrupt "
+                "the heap order; cancel and reschedule instead"
+            )
+        return None

@@ -1,0 +1,127 @@
+"""SL003: no hash-ordered iteration in scheduling/decision code.
+
+Set iteration order depends on element hashes, and string hashing is
+salted per process (``PYTHONHASHSEED``): two identical runs can visit a
+set's members in different orders.  In ``core/`` and ``db/`` — where a
+loop may pick a victim, grant a lock, or admit a query — that is enough
+to flip a decision and fork the whole simulation.  Iterate ``sorted(...)``
+or an explicitly ordered container instead.  (``dict`` preserves
+insertion order, but bare ``.keys()`` of a dict *built from* unordered
+input inherits the hazard, so the rule flags it and asks the author to
+make the ordering intent explicit.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Union
+
+from repro.lint.base import DECISION_COMPONENTS, Rule, Violation, register
+
+_SET_BUILTINS = frozenset({"set", "frozenset"})
+#: Wrappers that preserve their argument's iteration order — descend.
+_TRANSPARENT_WRAPPERS = frozenset({"enumerate", "list", "tuple", "reversed", "iter"})
+#: Wrappers that impose a total order — iteration through them is safe.
+_ORDERING_WRAPPERS = frozenset({"sorted", "min", "max", "sum", "len", "any", "all"})
+
+_FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _set_typed_names(func: _FuncDef) -> Set[str]:
+    """Names assigned a set within ``func`` (literal, call, or annotation)."""
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            if _is_set_expr(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            if _is_set_annotation(node.annotation) or (
+                node.value is not None and _is_set_expr(node.value)
+            ):
+                names.add(node.target.id)
+    return names
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    if isinstance(node, ast.Set):
+        return True
+    if isinstance(node, ast.SetComp):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _SET_BUILTINS
+    return False
+
+
+def _is_set_annotation(node: ast.expr) -> bool:
+    base: Optional[ast.expr] = node
+    if isinstance(base, ast.Subscript):
+        base = base.value
+    if isinstance(base, ast.Name):
+        return base.id in {"set", "frozenset", "Set", "FrozenSet", "AbstractSet"}
+    if isinstance(base, ast.Attribute):
+        return base.attr in {"Set", "FrozenSet", "AbstractSet"}
+    return False
+
+
+@register
+class UnorderedIterationRule(Rule):
+    """SL003: flag iteration whose order the hash seed can change."""
+
+    rule_id = "SL003"
+    summary = "no hash-ordered set/dict.keys() iteration in decision code"
+    components = DECISION_COMPONENTS
+
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:  # noqa: F821
+        yield from self._walk(ctx, ctx.tree, set_names=set())
+
+    def _walk(
+        self,
+        ctx: "FileContext",  # noqa: F821
+        node: ast.AST,
+        set_names: Set[str],
+    ) -> Iterator[Violation]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            set_names = set_names | _set_typed_names(node)
+        iters: List[ast.expr] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            iters.extend(gen.iter for gen in node.generators)
+        for iter_expr in iters:
+            reason = self._hazard(iter_expr, set_names)
+            if reason is not None:
+                yield self.violation(
+                    ctx,
+                    iter_expr,
+                    f"iteration over {reason} has hash-dependent order in decision "
+                    "code; iterate sorted(...) or an explicitly ordered container",
+                )
+        for child in ast.iter_child_nodes(node):
+            yield from self._walk(ctx, child, set_names)
+
+    def _hazard(self, node: ast.expr, set_names: Set[str]) -> Optional[str]:
+        """Why iterating ``node`` is hash-ordered, or None if it is safe."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "a set literal"
+        if isinstance(node, ast.Name) and node.id in set_names:
+            return f"set-typed local '{node.id}'"
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id in _SET_BUILTINS:
+                    return f"{func.id}(...)"
+                if func.id in _ORDERING_WRAPPERS:
+                    return None
+                if func.id in _TRANSPARENT_WRAPPERS and node.args:
+                    return self._hazard(node.args[0], set_names)
+                return None
+            if isinstance(func, ast.Attribute) and func.attr == "keys":
+                # ``d.keys()`` of a dict literal has literal-declared order;
+                # any other receiver makes the reader (and the hash seed)
+                # guess, so ask for explicit ordering intent.
+                if isinstance(func.value, ast.Dict):
+                    return None
+                return ".keys() of a non-literal receiver"
+        return None

@@ -1,0 +1,80 @@
+"""SL006: public functions in decision components are fully annotated.
+
+``core/`` and ``db/`` form the policy API surface every future backend
+and scaling PR builds against; unannotated signatures there rot into
+implicit ``Any`` and mypy's strict mode (see ``pyproject.toml``) cannot
+vouch for them.  Every public function and method must annotate every
+parameter (``self``/``cls`` excepted) and its return type.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Union
+
+from repro.lint.base import DECISION_COMPONENTS, Rule, Violation, register
+
+_FuncDef = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _is_public(name: str) -> bool:
+    """Public API name: not ``_private``, but dunders count as public."""
+    if name.startswith("__") and name.endswith("__"):
+        return True
+    return not name.startswith("_")
+
+
+def _missing_annotations(func: _FuncDef, is_method: bool) -> List[str]:
+    """Names of parameters lacking annotations, plus ``"return"``."""
+    missing: List[str] = []
+    args = func.args
+    positional = list(args.posonlyargs) + list(args.args)
+    if is_method and positional and positional[0].arg in ("self", "cls"):
+        positional = positional[1:]
+    for arg in positional + list(args.kwonlyargs):
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    if args.vararg is not None and args.vararg.annotation is None:
+        missing.append("*" + args.vararg.arg)
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        missing.append("**" + args.kwarg.arg)
+    if func.returns is None:
+        missing.append("return")
+    return missing
+
+
+@register
+class PublicAnnotationRule(Rule):
+    """SL006: full type annotations on public functions in core/ and db/."""
+
+    rule_id = "SL006"
+    summary = "public functions in core/ and db/ are fully type-annotated"
+    components = DECISION_COMPONENTS
+
+    def check(self, ctx: "FileContext") -> Iterator[Violation]:  # noqa: F821
+        yield from self._scan(ctx, ctx.tree, in_class=False)
+
+    def _scan(
+        self,
+        ctx: "FileContext",  # noqa: F821
+        node: ast.AST,
+        in_class: bool,
+    ) -> Iterator[Violation]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _is_public(child.name):
+                    missing = _missing_annotations(child, is_method=in_class)
+                    if missing:
+                        kind = "method" if in_class else "function"
+                        yield self.violation(
+                            ctx,
+                            child,
+                            f"public {kind} '{child.name}' is missing annotations "
+                            f"for: {', '.join(missing)}",
+                        )
+                # Nested defs are implementation detail — do not recurse
+                # into function bodies.
+            elif isinstance(child, ast.ClassDef):
+                yield from self._scan(ctx, child, in_class=True)
+            else:
+                yield from self._scan(ctx, child, in_class=in_class)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from typing import Deque, Iterable, List, Optional, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 
 class OnlineStats:
@@ -173,10 +173,10 @@ class WindowedCounts:
         while self._events and self._events[0][0] < cutoff:
             self._events.popleft()
 
-    def counts(self, now: float) -> dict:
+    def counts(self, now: float) -> Dict[str, int]:
         """Per-label counts within ``[now - window, now]``."""
         self._evict(now)
-        result: dict = {}
+        result: Dict[str, int] = {}
         for _, label in self._events:
             result[label] = result.get(label, 0) + 1
         return result
@@ -186,7 +186,7 @@ class WindowedCounts:
         self._evict(now)
         return len(self._events)
 
-    def ratios(self, now: float) -> dict:
+    def ratios(self, now: float) -> Dict[str, float]:
         """Per-label fractions within the window; empty dict if no events."""
         counts = self.counts(now)
         total = sum(counts.values())

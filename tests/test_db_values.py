@@ -7,6 +7,12 @@ from repro.db.items import DataItem
 from repro.db.values import RandomWalkStream, ValueDivergenceFreshness, ValueTable
 from repro.experiments.config import ExperimentConfig, SCALES
 from repro.experiments.runner import run_experiment
+from repro.sim.rng import RandomStreams
+
+
+def walk(initial, step_sigma, seed):
+    """A RandomWalkStream fed by a named substream, as production does."""
+    return RandomWalkStream(initial, step_sigma, rng=RandomStreams(seed).stream("walk"))
 
 
 def make_item(arrivals=0, applied=0):
@@ -22,31 +28,31 @@ def make_item(arrivals=0, applied=0):
 
 class TestRandomWalk:
     def test_initial_value(self):
-        stream = RandomWalkStream(initial=50.0, step_sigma=1.0, seed=1)
+        stream = walk(initial=50.0, step_sigma=1.0, seed=1)
         assert stream.value_at(0) == 50.0
 
     def test_deterministic_and_order_independent(self):
-        a = RandomWalkStream(100.0, 1.0, seed=7)
-        b = RandomWalkStream(100.0, 1.0, seed=7)
+        a = walk(100.0, 1.0, seed=7)
+        b = walk(100.0, 1.0, seed=7)
         assert a.value_at(10) == b.value_at(10)
         # Querying out of order gives the same walk.
-        c = RandomWalkStream(100.0, 1.0, seed=7)
+        c = walk(100.0, 1.0, seed=7)
         later = c.value_at(10)
         earlier = c.value_at(3)
         assert later == a.value_at(10)
         assert earlier == a.value_at(3)
 
     def test_zero_sigma_is_constant(self):
-        stream = RandomWalkStream(5.0, 0.0, seed=1)
+        stream = walk(5.0, 0.0, seed=1)
         assert stream.value_at(100) == 5.0
 
     def test_negative_seqno_rejected(self):
         with pytest.raises(ValueError):
-            RandomWalkStream(0.0, 1.0, seed=1).value_at(-1)
+            walk(0.0, 1.0, seed=1).value_at(-1)
 
     @given(st.integers(min_value=0, max_value=200))
     def test_property_prefix_stability(self, seqno):
-        stream = RandomWalkStream(0.0, 1.0, seed=3)
+        stream = walk(0.0, 1.0, seed=3)
         first = stream.value_at(seqno)
         stream.value_at(seqno + 50)  # extend the walk
         assert stream.value_at(seqno) == first

@@ -1,0 +1,85 @@
+"""Determinism regression guard (the invariant simlint protects).
+
+Two identical runs with the same master seed must be *byte-identical* —
+not approximately equal — all the way through the Figure 4 benchmark
+pipeline.  If this test starts failing, something in the run path is
+drawing from ambient state (RNG, wall clock, hash ordering); run
+``python -m repro.lint src/repro`` to find it.
+"""
+
+import dataclasses
+import json
+
+from repro.experiments.config import SCALES, ExperimentConfig
+from repro.experiments.figures import figure4, render_figure4
+from repro.experiments.runner import run_experiment
+
+SMOKE = SCALES["smoke"]
+
+
+def _stable_report_bytes(report) -> bytes:
+    """Serialize everything a figure could read (wall_seconds excluded:
+    host timing is *reporting* metadata, never an input to results)."""
+    by_name = lambda kv: kv[0].value  # noqa: E731
+    payload = {
+        "policy": report.policy_name,
+        "counts": {o.value: n for o, n in sorted(report.outcome_counts.items(), key=by_name)},
+        "submitted": report.queries_submitted,
+        "usm": report.usm.hex(),  # float.hex(): exact bits, not a rounding
+        "total_usm": report.total_usm.hex(),
+        "ratios": {o.value: r.hex() for o, r in sorted(report.ratios.items(), key=by_name)},
+        "components": {k: v.hex() for k, v in sorted(report.components.items())},
+        "update_arrivals": report.update_arrivals,
+        "updates_executed": report.updates_executed,
+        "updates_dropped": report.updates_dropped,
+        "query_access_counts": report.query_access_counts,
+        "update_counts_original": report.update_counts_original,
+        "update_counts_executed": report.update_counts_executed,
+        "busy": {k: v.hex() for k, v in sorted(report.busy_by_class.items())},
+        "events_fired": report.events_fired,
+        "summary": report.summary(),
+    }
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+class TestSingleRunDeterminism:
+    def test_same_seed_byte_identical_report(self):
+        config = ExperimentConfig(
+            policy="unit", update_trace="med-unif", seed=7, scale=SMOKE
+        )
+        first = _stable_report_bytes(run_experiment(config))
+        second = _stable_report_bytes(
+            run_experiment(dataclasses.replace(config))
+        )
+        assert first == second
+
+    def test_different_seed_differs(self):
+        """Sanity: the serialization actually captures run results."""
+        a = run_experiment(
+            ExperimentConfig(policy="unit", update_trace="med-unif", seed=7, scale=SMOKE)
+        )
+        b = run_experiment(
+            ExperimentConfig(policy="unit", update_trace="med-unif", seed=8, scale=SMOKE)
+        )
+        assert _stable_report_bytes(a) != _stable_report_bytes(b)
+
+
+class TestFigure4Determinism:
+    def test_two_fig4_runs_byte_identical(self):
+        """The acceptance gate: the full Fig. 4 benchmark (9 traces x
+        all policies, naive USM) twice with one master seed."""
+        first = figure4(SMOKE, seed=7)
+        second = figure4(SMOKE, seed=7)
+        first_bytes = json.dumps(
+            {t: {p: v.hex() for p, v in row.items()} for t, row in first.items()},
+            sort_keys=True,
+        ).encode("utf-8")
+        second_bytes = json.dumps(
+            {t: {p: v.hex() for p, v in row.items()} for t, row in second.items()},
+            sort_keys=True,
+        ).encode("utf-8")
+        assert first_bytes == second_bytes
+        # The rendered stats output is byte-identical too.
+        assert render_figure4(first).encode("utf-8") == render_figure4(second).encode(
+            "utf-8"
+        )
