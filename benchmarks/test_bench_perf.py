@@ -1,0 +1,114 @@
+"""Performance benchmarks: raw engine throughput and sweep wall-clock.
+
+Unlike the figure/table benchmarks these do not reproduce paper output;
+they guard the simulator's speed.  Two measurements:
+
+* single-run events/sec — one UNIT run with a pre-warmed workload
+  cache, so the number reflects simulation speed, not trace generation;
+* paired-grid wall-clock — the full 5 policies × 3 traces × 3 penalty
+  profiles sweep (45 cells) through :func:`run_grid`, where the
+  workload cache collapses 45 generations into 3.
+
+Both write their numbers into ``BENCH_perf.json`` at the repo root,
+keyed by section and ``REPRO_BENCH_SCALE`` (read-modify-write, so smoke
+and small results coexist).  See ``docs/performance.md`` for how to
+read the file.
+"""
+
+import json
+import os
+import platform
+from pathlib import Path
+
+from repro.core.usm import TABLE2_PROFILES, PenaltyProfile
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.experiments.sweep import run_grid
+from repro.workload.cache import default_cache
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_perf.json"
+
+GRID_POLICIES = ("unit", "imu", "odu", "qmf", "elastic")
+GRID_TRACES = ("med-unif", "med-pos", "med-neg")
+GRID_PROFILES = (
+    PenaltyProfile.naive(),
+    TABLE2_PROFILES["lt1-high-cr"],
+    TABLE2_PROFILES["gt1-high-cfs"],
+)
+
+
+def _scale_name() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "smoke")
+
+
+def _record(section: str, payload: dict) -> None:
+    """Merge one measurement into BENCH_perf.json (keyed by scale)."""
+    data = {}
+    if BENCH_JSON.exists():
+        try:
+            data = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            data = {}
+    data.setdefault(section, {})[_scale_name()] = payload
+    data["python"] = platform.python_version()
+    BENCH_JSON.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def test_bench_single_run_events_per_sec(benchmark, bench_scale, bench_seed):
+    config = ExperimentConfig(
+        policy="unit", update_trace="med-unif", seed=bench_seed, scale=bench_scale
+    )
+    # Warm the cache first so the benchmark measures the event loop, not
+    # workload generation.
+    default_cache().warm([config])
+    report = benchmark.pedantic(
+        run_experiment, args=(config,), rounds=3, iterations=1, warmup_rounds=1
+    )
+    events = report.events_fired
+    best = benchmark.stats.stats.min
+    events_per_sec = events / best
+    benchmark.extra_info["events"] = events
+    benchmark.extra_info["events_per_sec"] = round(events_per_sec)
+    _record(
+        "single_run",
+        {
+            "seed": bench_seed,
+            "events": events,
+            "best_seconds": round(best, 4),
+            "events_per_sec": round(events_per_sec, 1),
+        },
+    )
+    assert events > 0
+    assert report.queries_submitted > 0
+
+
+def test_bench_paired_grid_wall_clock(benchmark, bench_scale, bench_seed):
+    reports = benchmark.pedantic(
+        run_grid,
+        args=(GRID_POLICIES, GRID_TRACES, GRID_PROFILES, bench_scale),
+        kwargs={"seed": bench_seed},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(reports) == 45
+    wall = benchmark.stats.stats.min
+    benchmark.extra_info["cells"] = len(reports)
+    _record(
+        "paired_grid",
+        {
+            "seed": bench_seed,
+            "cells": len(reports),
+            "wall_seconds": round(wall, 3),
+            "cells_per_sec": round(len(reports) / wall, 2),
+        },
+    )
+    # Paired workloads: every policy saw the identical query stream.
+    naive = GRID_PROFILES[0].name or "naive"
+    submitted = {
+        reports[(policy, "med-unif", naive)].queries_submitted
+        for policy in GRID_POLICIES
+    }
+    assert len(submitted) == 1

@@ -8,56 +8,48 @@ Shape targets scored per calibration:
   4. IMU near ODU at pos (med volume).
   5. IMU and QMF collapse (<0.1) at high volume.
   6. ODU close to UNIT at neg (gap smaller than at unif).
+
+Each candidate shape is a full POLICIES × CELLS grid, executed through
+the sweep pipeline (shared cached workloads per (trace, seed); honors
+``REPRO_SWEEP_WORKERS``).
 """
 
 import dataclasses
 import itertools
 import sys
 
-from repro.experiments.config import ExperimentConfig, SCALES
-from repro.experiments.runner import run_experiment
 from repro.core.unit import UnitConfig
 from repro.core.usm import PenaltyProfile
+from repro.experiments.config import ExperimentConfig, SCALES
+from repro.experiments.sweep import run_grid
 
 CELLS = ["low-unif", "med-unif", "high-unif", "med-pos", "med-neg", "high-neg"]
 POLICIES = ["imu", "odu", "qmf", "unit"]
 
 
-def run_cell(policy, trace, scale, zipf, dl_factor, escalate, seed=3):
-    uc = UnitConfig(
-        profile=PenaltyProfile.naive(), control_period=1.0, degrade_rounds=64
-    )
-    config = ExperimentConfig(
-        policy=policy,
-        update_trace=trace,
+def run_shape(scale, zipf, dl_factor, escalate, seed=3):
+    """USM for every (cell, policy) pair of one candidate shape."""
+    profile = PenaltyProfile.naive()
+    base = ExperimentConfig(
+        policy="unit",
+        update_trace=CELLS[0],
         seed=seed,
         scale=scale,
         zipf_skew=zipf,
-        unit=uc,
+        unit=UnitConfig(
+            profile=profile,
+            control_period=1.0,
+            degrade_rounds=64,
+            escalate_modulation=escalate,
+        ),
         deadline_high_base="mean",
         deadline_high_factor=dl_factor,
     )
-    import repro.experiments.runner as runner_mod
-
-    orig = runner_mod.make_policy
-
-    def patched(cfg, streams):
-        policy_obj = orig(cfg, streams)
-        if cfg.policy == "unit":
-            bind = policy_obj.bind
-
-            def bind_and_set(server):
-                bind(server)
-                policy_obj.modulator.escalate = escalate
-
-            policy_obj.bind = bind_and_set
-        return policy_obj
-
-    runner_mod.make_policy = patched
-    try:
-        return run_experiment(config).usm
-    finally:
-        runner_mod.make_policy = orig
+    reports = run_grid(POLICIES, CELLS, [profile], scale, seed=seed, base=base)
+    return {
+        cell: {p: reports[(p, cell, profile.name or "naive")].usm for p in POLICIES}
+        for cell in CELLS
+    }
 
 
 def score(grid):
@@ -92,11 +84,7 @@ def main():
         scale = dataclasses.replace(
             scale_base, query_utilization=qutil, mean_update_exec=0.15
         )
-        grid = {}
-        for cell in CELLS:
-            grid[cell] = {
-                p: run_cell(p, cell, scale, zipf, 3.0, escalate) for p in POLICIES
-            }
+        grid = run_shape(scale, zipf, 3.0, escalate)
         s, notes = score(grid)
         results.append((s, qutil, zipf, escalate, grid, notes))
         print(

@@ -57,10 +57,16 @@ class LoadBalancingController:
     def check_drop(self, now: float) -> bool:
         """True when the windowed USM fell by more than the threshold
         since the last allocation — the event trigger of Section 3.2."""
-        usm = self.window.average_usm(now)
-        if usm is None or self._last_usm is None:
+        last = self._last_usm
+        if last is None:
+            # No baseline yet: skip the (O(window)) USM scan entirely.
+            # Eviction is not skipped for long — time is monotonic and
+            # every other window reader evicts before reading.
             return False
-        return usm < self._last_usm - self.usm_drop_threshold
+        usm = self.window.average_usm(now)
+        if usm is None:
+            return False
+        return usm < last - self.usm_drop_threshold
 
     def allocate(self, now: float) -> List[ControlSignal]:
         """Run the Adaptive Allocation Algorithm (Fig. 2).

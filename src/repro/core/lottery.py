@@ -80,20 +80,22 @@ class LotteryScheduler:
             return None
         target = rng.random() * total
 
+        tree = self._tree
+        n = self._n
         position = 0
         bit = 1
-        while bit << 1 <= self._n:
+        while bit << 1 <= n:
             bit <<= 1
         remaining = target
         while bit:
             nxt = position + bit
-            if nxt <= self._n and self._tree[nxt] < remaining:
-                remaining -= self._tree[nxt]
+            if nxt <= n and tree[nxt] < remaining:
+                remaining -= tree[nxt]
                 position = nxt
             bit >>= 1
         index = position  # position is the count of slots strictly before
-        if index >= self._n:
-            index = self._n - 1
+        if index >= n:
+            index = n - 1
         # Guard against landing on a zero-weight slot through float error.
         if self._weights[index] <= 0:
             candidates = [i for i, w in enumerate(self._weights) if w > 0]

@@ -128,7 +128,7 @@ class QmfPolicy(ServerPolicy):
         # transactions keep a low miss ratio.
         outstanding = sum(txn.remaining for txn in server.ready.ready_queries())
         running = server.running_transaction()
-        if running is not None and isinstance(running, QueryTransaction):
+        if running is not None and not running.is_update:
             outstanding += server.running_remaining()
         if outstanding > self.backlog_quota:
             self.rejections_quota += 1

@@ -239,6 +239,14 @@ class UsmWindow:
         self.profile = profile
         self.window = window
         self._events: Deque[Tuple[float, Outcome, PenaltyProfile]] = deque()
+        # Per-event USM contribution and (cost-key, cost) pairs, kept in
+        # lock-step with _events.  Both are pure functions of the frozen
+        # (outcome, profile) pair, so computing them once at record time
+        # instead of on every windowed scan changes no float: the scans
+        # below sum the very same values in the very same order.
+        self._contribs: Deque[float] = deque()
+        self._costs: Deque[Optional[Tuple[str, float]]] = deque()
+        self._counts: Dict[Outcome, int] = {outcome: 0 for outcome in Outcome}
 
     def record(
         self,
@@ -246,12 +254,31 @@ class UsmWindow:
         outcome: Outcome,
         profile: Optional[PenaltyProfile] = None,
     ) -> None:
-        self._events.append((now, outcome, profile or self.profile))
+        prof = profile or self.profile
+        self._events.append((now, outcome, prof))
+        self._contribs.append(prof.contribution(outcome))
+        self._counts[outcome] += 1
+        cost: Optional[Tuple[str, float]]
+        if outcome is Outcome.SUCCESS:
+            cost = None  # successes carry gain, not cost (Eq. 5's S term)
+        elif outcome is Outcome.REJECTED:
+            cost = ("R", prof.c_r)
+        elif outcome is Outcome.DEADLINE_MISS:
+            cost = ("F_m", prof.c_fm)
+        elif outcome is Outcome.DATA_STALE:
+            cost = ("F_s", prof.c_fs)
+        else:
+            raise ValueError(f"unaccounted outcome {outcome!r}")
+        self._costs.append(cost)
 
     def _evict(self, now: float) -> None:
         cutoff = now - self.window
-        while self._events and self._events[0][0] < cutoff:
-            self._events.popleft()
+        events = self._events
+        while events and events[0][0] < cutoff:
+            _, outcome, _ = events.popleft()
+            self._contribs.popleft()
+            self._costs.popleft()
+            self._counts[outcome] -= 1
 
     def sample_size(self, now: float) -> int:
         self._evict(now)
@@ -260,23 +287,18 @@ class UsmWindow:
     def ratios(self, now: float) -> Dict[Outcome, float]:
         """Windowed R_s / R_r / R_fm / R_fs (absent outcomes are 0)."""
         self._evict(now)
-        result = {outcome: 0 for outcome in Outcome}
-        for _, outcome, _ in self._events:
-            result[outcome] += 1
         total = len(self._events)
         if not total:
             return {outcome: 0.0 for outcome in Outcome}
-        return {outcome: count / total for outcome, count in result.items()}
+        counts = self._counts
+        return {outcome: counts[outcome] / total for outcome in Outcome}
 
     def average_usm(self, now: float) -> Optional[float]:
         """Windowed average USM, or None if the window is empty."""
         self._evict(now)
         if not self._events:
             return None
-        total = sum(
-            profile.contribution(outcome) for _, outcome, profile in self._events
-        )
-        return total / len(self._events)
+        return sum(self._contribs) / len(self._events)
 
     def cost_components(self, now: float) -> Dict[str, float]:
         """Windowed R / F_m / F_s average costs (the Fig. 2 inputs),
@@ -285,15 +307,9 @@ class UsmWindow:
         costs = {"R": 0.0, "F_m": 0.0, "F_s": 0.0}
         if not self._events:
             return costs
-        for _, outcome, profile in self._events:
-            if outcome is Outcome.SUCCESS:
-                continue  # successes carry gain, not cost (Eq. 5's S term)
-            if outcome is Outcome.REJECTED:
-                costs["R"] += profile.c_r
-            elif outcome is Outcome.DEADLINE_MISS:
-                costs["F_m"] += profile.c_fm
-            elif outcome is Outcome.DATA_STALE:
-                costs["F_s"] += profile.c_fs
+        for entry in self._costs:
+            if entry is not None:
+                costs[entry[0]] += entry[1]
         total = len(self._events)
         return {key: value / total for key, value in costs.items()}
 

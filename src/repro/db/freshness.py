@@ -103,9 +103,10 @@ def query_freshness(
         ValueError: If ``items`` is empty — query freshness over no
             items is meaningless.
     """
+    item_freshness = metric.item_freshness  # bind once; called per item
     freshest = None
     for item in items:
-        value = metric.item_freshness(item, now)
+        value = item_freshness(item, now)
         if freshest is None or value < freshest:
             freshest = value
     if freshest is None:

@@ -127,6 +127,13 @@ class LockManager:
         """
         lock = self._locks.setdefault(item_id, _ItemLock())
 
+        # Uncontended fast path (the overwhelmingly common case): no
+        # holders and no waiters means no conflict of any kind.
+        if not lock.holders and not lock.waiters:
+            lock.holders[txn.txn_id] = (txn, mode)
+            self._held_by.setdefault(txn.txn_id, set()).add(item_id)
+            return LockRequestResult(LockStatus.GRANTED)
+
         held = lock.holders.get(txn.txn_id)
         if held is not None:
             _, held_mode = held

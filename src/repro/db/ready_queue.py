@@ -39,7 +39,7 @@ class ReadyQueue:
             raise ValueError(f"txn {txn.txn_id} is already in the ready queue")
         self._live.add(txn.txn_id)
         entry = (txn.deadline, txn.txn_id, txn)
-        if isinstance(txn, UpdateTransaction):
+        if txn.is_update:
             heapq.heappush(self._update_heap, entry)
         else:
             heapq.heappush(self._query_heap, entry)
@@ -84,14 +84,27 @@ class ReadyQueue:
         return [txn for _, txn_id, txn in self._query_heap if txn_id in self._live]
 
     def update_backlog(self) -> float:
-        """Total remaining work of queued updates (seconds)."""
-        return sum(txn.remaining for txn in self.ready_updates())
+        """Total remaining work of queued updates (seconds).
+
+        Single pass over the heap storage — no intermediate list; the
+        summation order matches :meth:`ready_updates` exactly, so the
+        float result is bit-identical to the former two-pass version.
+        """
+        live = self._live
+        total = 0.0
+        for _, txn_id, txn in self._update_heap:
+            if txn_id in live:
+                total += txn.remaining
+        return total
 
     def query_backlog_before(self, deadline: float) -> float:
         """Total remaining work of queued queries with deadline < ``deadline``."""
-        return sum(
-            txn.remaining for txn in self.ready_queries() if txn.deadline < deadline
-        )
+        live = self._live
+        total = 0.0
+        for _, txn_id, txn in self._query_heap:
+            if txn_id in live and txn.deadline < deadline:
+                total += txn.remaining
+        return total
 
     def compact(self) -> None:
         """Physically drop dead heap entries (occasionally, to bound memory)."""

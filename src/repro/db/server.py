@@ -23,6 +23,7 @@ period modulation — are delegated to a
 from __future__ import annotations
 
 import dataclasses
+import functools
 from typing import Dict, List, Optional, Set, Union
 
 from repro.db.freshness import FreshnessMetric, LagFreshness, query_freshness
@@ -143,7 +144,7 @@ class Server:
         self._live_queries[query.txn_id] = query
         self.policy.on_query_admitted(query, self)
         self._deadline_timers[query.txn_id] = self.sim.schedule(
-            query.deadline, lambda q=query: self._deadline_abort(q),
+            query.deadline, functools.partial(self._deadline_abort, query),
             priority=DEADLINE_EVENT_PRIORITY,
         )
 
@@ -241,7 +242,7 @@ class Server:
         update_busy = self._busy_update
         if self._running is not None and self._running.run_started_at is not None:
             slice_ = self.now - self._running.run_started_at
-            if isinstance(self._running, UpdateTransaction):
+            if self._running.is_update:
                 update_busy += slice_
             else:
                 query_busy += slice_
@@ -268,12 +269,13 @@ class Server:
                     self._preempt(self._running)
                 else:
                     return
-            txn = self.ready.pop()
-            assert txn is not None
+            # Take the candidate we already peeked (same transaction a
+            # pop() would return, without walking the heap a second time).
+            self.ready.remove(candidate)
             # Whether the candidate started or blocked, go around again:
             # lock-conflict aborts during acquisition may have readied a
             # transaction that outranks whatever is now on the CPU.
-            self._try_start(txn)
+            self._try_start(candidate)
 
     def _try_start(self, txn: Transaction) -> bool:
         """Acquire ``txn``'s locks and put it on the CPU.
@@ -281,7 +283,7 @@ class Server:
         Returns False if the transaction blocked on a lock or is waiting
         for on-demand refreshes (the caller then tries the next
         candidate)."""
-        if isinstance(txn, UpdateTransaction):
+        if txn.is_update:
             needed = [txn.item_id]
             mode = LockMode.WRITE
         else:
@@ -331,7 +333,7 @@ class Server:
         lock set and, if complete, return it to the ready queue."""
         if txn.is_finished:
             return
-        if isinstance(txn, UpdateTransaction):
+        if txn.is_update:
             needed = [txn.item_id]
             mode = LockMode.WRITE
         else:
@@ -359,19 +361,28 @@ class Server:
     def _run(self, txn: Transaction) -> None:
         txn.state = TransactionState.RUNNING
         txn.run_started_at = self.now
-        if isinstance(txn, QueryTransaction) and txn.observed_freshness is None:
+        if not txn.is_update and txn.observed_freshness is None:
             # The query reads its items now (under read locks, no update
             # can commit on them until it finishes or is aborted); the
             # freshness it observes is the freshness of its result.
-            txn.observed_freshness = query_freshness(
-                (self.items[item_id] for item_id in txn.items),
-                self.now,
-                self.config.freshness_metric,
-            )
+            metric = self.config.freshness_metric
+            item_ids = txn.items
+            if len(item_ids) == 1:
+                # Single-item fast path (the common case): the query
+                # freshness min over one item is that item's freshness.
+                txn.observed_freshness = metric.item_freshness(
+                    self.items[item_ids[0]], self.now
+                )
+            else:
+                txn.observed_freshness = query_freshness(
+                    [self.items[item_id] for item_id in item_ids],
+                    self.now,
+                    metric,
+                )
         self._running = txn
         self._completion_timer = self.sim.schedule_after(
             txn.remaining,
-            lambda t=txn: self._complete(t),
+            functools.partial(self._complete, txn),
             priority=COMPLETION_EVENT_PRIORITY,
         )
 
@@ -391,7 +402,7 @@ class Server:
         self.ready.push(txn)
 
     def _credit_busy(self, txn: Transaction, elapsed: float) -> None:
-        if isinstance(txn, UpdateTransaction):
+        if txn.is_update:
             self._busy_update += elapsed
         else:
             self._busy_query += elapsed
@@ -413,7 +424,7 @@ class Server:
 
         granted = self.locks.release_all(txn)
 
-        if isinstance(txn, UpdateTransaction):
+        if txn.is_update:
             self._commit_update(txn)
         else:
             self._commit_query(txn)
@@ -483,7 +494,7 @@ class Server:
         victim.remaining = victim.exec_time
         victim.run_started_at = None
 
-        if isinstance(victim, QueryTransaction):
+        if not victim.is_update:
             victim.restarts += 1
             victim.observed_freshness = None  # the restart re-reads
             if self.config.restart_aborted_queries and self.now < victim.deadline:
@@ -543,19 +554,21 @@ class Server:
                 if outcome in (Outcome.SUCCESS, Outcome.DATA_STALE)
                 else TransactionState.ABORTED
             )
+        # Positional construction (field order) — this is the per-query
+        # hot exit path and keyword binding measurably adds up.
         record = QueryRecord(
-            txn_id=query.txn_id,
-            arrival=query.arrival,
-            items=query.items,
-            exec_time=query.exec_time,
-            relative_deadline=query.relative_deadline,
-            freshness_req=query.freshness_req,
-            outcome=outcome,
-            finish_time=self.now,
-            freshness=freshness,
-            restarts=query.restarts,
-            profile=query.profile,
-            user_class=query.user_class,
+            query.txn_id,
+            query.arrival,
+            query.items,
+            query.exec_time,
+            query.relative_deadline,
+            query.freshness_req,
+            outcome,
+            self.now,
+            freshness,
+            query.restarts,
+            query.profile,
+            query.user_class,
         )
         self.records.append(record)
         self.outcome_counts[outcome] += 1

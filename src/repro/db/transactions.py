@@ -5,13 +5,21 @@ query transactions*, which read one or more data items under a firm
 deadline ``qt_i`` and a freshness requirement ``qf_i``, and *update
 transactions*, which write a single data item and carry no deadline of
 their own (they are ordered EDF by their arrival plus period).
+
+The concrete classes are ``slots=True`` dataclasses: a run allocates
+one object per arrival and the server touches their attributes in every
+scheduling decision, so the slot layout (no per-instance ``__dict__``)
+is a measurable win.  Class membership is exposed through the
+``is_update`` class flag, which the hot paths test instead of calling
+``isinstance``; the absolute ``deadline`` and the ``priority_key()``
+tuple are both fixed at construction time and therefore precomputed.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Optional, Tuple
+from typing import ClassVar, Optional, Tuple
 
 
 class Outcome(enum.Enum):
@@ -39,9 +47,12 @@ UPDATE_CLASS_RANK = 0
 QUERY_CLASS_RANK = 1
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class _TransactionBase:
     """State shared by both transaction classes."""
+
+    #: Class-membership flag; True on :class:`UpdateTransaction`.
+    is_update: ClassVar[bool] = False
 
     txn_id: int
     arrival: float
@@ -51,6 +62,13 @@ class _TransactionBase:
     state: TransactionState = dataclasses.field(default=TransactionState.PENDING)
     remaining: float = dataclasses.field(default=0.0)
     run_started_at: Optional[float] = dataclasses.field(default=None)
+
+    # Absolute EDF horizon, fixed at construction (arrival + qt_i for
+    # queries, arrival + period for updates); set by __post_init__.
+    deadline: float = dataclasses.field(init=False, repr=False, compare=False, default=0.0)
+    _priority_key: Tuple[int, float, int] = dataclasses.field(
+        init=False, repr=False, compare=False, default=(0, 0.0, 0)
+    )
 
     def __post_init__(self) -> None:
         if self.exec_time <= 0:
@@ -63,10 +81,10 @@ class _TransactionBase:
 
     def priority_key(self) -> Tuple[int, float, int]:
         """Total priority order: smaller tuple = higher priority."""
-        raise NotImplementedError
+        return self._priority_key
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class QueryTransaction(_TransactionBase):
     """A user query ``q_i``.
 
@@ -77,6 +95,8 @@ class QueryTransaction(_TransactionBase):
         freshness_req: ``qf_i`` — minimum acceptable query freshness.
         restarts: Times the query was restarted by a 2PL-HP abort.
     """
+
+    is_update: ClassVar[bool] = False
 
     items: Tuple[int, ...] = ()
     relative_deadline: float = 0.0
@@ -94,29 +114,25 @@ class QueryTransaction(_TransactionBase):
     user_class: str = "default"
 
     def __post_init__(self) -> None:
-        super().__post_init__()
+        # Explicit base-class call: zero-arg super() does not survive the
+        # class rebuild dataclasses performs for slots=True.
+        _TransactionBase.__post_init__(self)
         if not self.items:
             raise ValueError("a query must read at least one data item")
         if self.relative_deadline <= 0:
             raise ValueError("relative_deadline must be positive")
         if not 0.0 < self.freshness_req <= 1.0:
             raise ValueError("freshness_req must be in (0, 1]")
-
-    @property
-    def deadline(self) -> float:
-        """Absolute firm deadline: arrival + ``qt_i``."""
-        return self.arrival + self.relative_deadline
+        self.deadline = self.arrival + self.relative_deadline
+        self._priority_key = (QUERY_CLASS_RANK, self.deadline, self.txn_id)
 
     @property
     def cpu_utilization(self) -> float:
         """``qe_i / qt_i`` — the quantity Eq. 6 charges against tickets."""
         return self.exec_time / self.relative_deadline
 
-    def priority_key(self) -> Tuple[int, float, int]:
-        return (QUERY_CLASS_RANK, self.deadline, self.txn_id)
 
-
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class UpdateTransaction(_TransactionBase):
     """One executed refresh of a single data item.
 
@@ -131,28 +147,24 @@ class UpdateTransaction(_TransactionBase):
             waiting query rather than by the periodic source.
     """
 
+    is_update: ClassVar[bool] = True
+
     item_id: int = -1
     seqno: int = 0
     period: float = 1.0
     on_demand: bool = False
 
     def __post_init__(self) -> None:
-        super().__post_init__()
+        _TransactionBase.__post_init__(self)
         if self.item_id < 0:
             raise ValueError("item_id must be set")
         if self.period <= 0:
             raise ValueError("period must be positive")
-
-    @property
-    def deadline(self) -> float:
-        """EDF ordering horizon for the update class: arrival + period."""
-        return self.arrival + self.period
-
-    def priority_key(self) -> Tuple[int, float, int]:
-        return (UPDATE_CLASS_RANK, self.deadline, self.txn_id)
+        self.deadline = self.arrival + self.period
+        self._priority_key = (UPDATE_CLASS_RANK, self.deadline, self.txn_id)
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class QueryRecord:
     """Immutable post-mortem of a finished (or rejected) query."""
 

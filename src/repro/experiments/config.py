@@ -10,6 +10,7 @@ full reproduction runs (1024 items, as in the paper).
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from typing import Dict, Optional
 
 from repro.core.elastic import ElasticConfig
@@ -144,6 +145,39 @@ class ExperimentConfig:
             )
             return ValueDivergenceFreshness(table, scale=self.freshness_value_scale)
         return LagFreshness()
+
+    def workload_key(self) -> str:
+        """Content-address of the workload this config generates.
+
+        Two configs with equal keys produce byte-identical query and
+        update traces: the key covers exactly the fields
+        :func:`repro.experiments.runner.build_workload` reads (plus the
+        seed) and nothing else — policy, penalty profile, and freshness
+        metric do not shape the traces, so paired runs share one entry.
+        Floats are canonicalized with ``float.hex()`` (exact bits).
+        """
+        scale = self.scale
+        parts = (
+            "workload-v1",  # bump when trace generation changes shape
+            str(self.seed),
+            self.update_trace,
+            scale.horizon.hex(),
+            str(scale.n_items),
+            scale.query_utilization.hex(),
+            scale.mean_query_service.hex(),
+            scale.mean_update_exec.hex(),
+            self.service_cv.hex(),
+            self.zipf_skew.hex(),
+            self.burst_factor.hex(),
+            self.normal_dwell.hex(),
+            self.burst_dwell.hex(),
+            self.freshness_req.hex(),
+            str(self.items_per_query),
+            self.deadline_high_factor.hex(),
+            self.deadline_high_base,
+            self.update_exec_cv.hex(),
+        )
+        return hashlib.sha256("\x1f".join(parts).encode("utf-8")).hexdigest()
 
     def unit_config(self) -> UnitConfig:
         """The UNIT knobs for this run (default: paper constants with

@@ -25,6 +25,7 @@ from repro.db.transactions import Outcome, QueryRecord, QueryTransaction
 from repro.experiments.config import ExperimentConfig
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
+from repro.workload.cache import get_workload
 from repro.workload.cello import CelloConfig, generate_cello_trace
 from repro.workload.queries import QueryTrace, build_query_trace
 from repro.workload.updates import (
@@ -147,19 +148,90 @@ def item_table_from_trace(update_trace: UpdateTrace) -> ItemTable:
     )
 
 
-def _drain_window(query_trace: QueryTrace) -> float:
+def _drain_window(query_trace: QueryTrace, horizon: float) -> float:
     """Time past the horizon needed for every admitted query to resolve
-    (the latest firm deadline still pending at the horizon)."""
+    (the latest firm deadline still pending at the horizon).
+
+    The latest absolute deadline is ``max(arrival + relative_deadline)``
+    — not ``horizon + max(relative_deadline)``, which over-extends the
+    run whenever the longest-deadline query arrived well before the
+    horizon.  Clamped at zero for deadlines that all land inside the
+    horizon; the extra second absorbs completions scheduled exactly at
+    the last deadline.
+    """
     if not query_trace.queries:
         return 1.0
-    return max(query.relative_deadline for query in query_trace.queries) + 1.0
+    last_deadline = max(
+        query.arrival + query.relative_deadline for query in query_trace.queries
+    )
+    return max(0.0, last_deadline - horizon) + 1.0
+
+
+def _feed_arrivals(
+    sim: Simulator,
+    server: Server,
+    queries: List[QueryTransaction],
+    update_events: List,
+) -> None:
+    """Schedule trace arrivals lazily, one in-flight event at a time.
+
+    Eagerly scheduling every arrival puts thousands of far-future events
+    in the heap, inflating every push/pop for the whole run.  Instead the
+    two (time-sorted) streams are merged — queries before updates on
+    exact ties, matching the former scheduling order — and each arrival
+    event chains the next one when it fires.  Event *firing* order is
+    unchanged: priorities partition the event types, and within the
+    arrival priority the chained events keep the trace order, so runs
+    are byte-identical to the eager version.
+    """
+    qi = 0
+    ui = 0
+    n_queries = len(queries)
+    n_updates = len(update_events)
+    schedule = sim.schedule
+    submit = server.submit_query
+    update_arrival = server.source_update_arrival
+    # The single in-flight arrival, consumed by fire() below.  One shared
+    # callback object serves every arrival event — no per-event closure.
+    in_flight_query: Optional[QueryTransaction] = None
+    in_flight_item = -1
+
+    def pump() -> None:
+        nonlocal qi, ui, in_flight_query, in_flight_item
+        if qi < n_queries and (
+            ui >= n_updates or queries[qi].arrival <= update_events[ui][0]
+        ):
+            txn = queries[qi]
+            qi += 1
+            in_flight_query = txn
+            schedule(txn.arrival, fire, ARRIVAL_EVENT_PRIORITY)
+        elif ui < n_updates:
+            at, item_id = update_events[ui]
+            ui += 1
+            in_flight_query = None
+            in_flight_item = item_id
+            schedule(at, fire, ARRIVAL_EVENT_PRIORITY)
+
+    def fire() -> None:
+        txn = in_flight_query
+        item_id = in_flight_item
+        pump()  # chain first: the next arrival outranks fallout
+        if txn is not None:
+            submit(txn)
+        else:
+            update_arrival(item_id)
+
+    pump()
 
 
 def run_experiment(config: ExperimentConfig) -> SimulationReport:
     """Run one simulation and collect its report."""
     started = time.perf_counter()
     streams = RandomStreams(config.seed)
-    query_trace, update_trace = build_workload(config, streams)
+    # Workload generation is memoized: traces draw only from named
+    # substreams disjoint from the policy streams, so a cache hit is
+    # byte-identical to regeneration.
+    query_trace, update_trace = get_workload(config)
 
     sim = Simulator()
     items = item_table_from_trace(update_trace)
@@ -171,8 +243,11 @@ def run_experiment(config: ExperimentConfig) -> SimulationReport:
         ServerConfig(freshness_metric=config.build_freshness_metric()),
     )
 
-    for query_spec in query_trace.queries:
-        txn = QueryTransaction(
+    # Transaction ids are allocated eagerly in trace order (queries get
+    # ids 1..N) — ids are EDF tie-breakers, so allocation order is part
+    # of the determinism contract.  Only the event *scheduling* is lazy.
+    query_txns = [
+        QueryTransaction(
             txn_id=server.next_txn_id(),
             arrival=query_spec.arrival,
             exec_time=query_spec.exec_time,
@@ -180,20 +255,12 @@ def run_experiment(config: ExperimentConfig) -> SimulationReport:
             relative_deadline=query_spec.relative_deadline,
             freshness_req=query_spec.freshness_req,
         )
-        sim.schedule(
-            query_spec.arrival,
-            lambda t=txn: server.submit_query(t),
-            priority=ARRIVAL_EVENT_PRIORITY,
-        )
-    for arrival_time, item_id in update_trace.arrival_events():
-        sim.schedule(
-            arrival_time,
-            lambda i=item_id: server.source_update_arrival(i),
-            priority=ARRIVAL_EVENT_PRIORITY,
-        )
+        for query_spec in query_trace.queries
+    ]
+    _feed_arrivals(sim, server, query_txns, list(update_trace.arrival_events()))
 
     horizon = config.scale.horizon
-    sim.run(until=horizon + _drain_window(query_trace))
+    sim.run(until=horizon + _drain_window(query_trace, horizon))
 
     unresolved = query_trace_size = len(query_trace.queries)
     unresolved -= len(server.records)

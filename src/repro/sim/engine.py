@@ -5,6 +5,11 @@ queue.  Callers schedule callbacks at absolute times or after delays
 and receive a :class:`Timer` handle that can cancel the pending event —
 the engine uses lazy deletion, so cancellation is O(1).
 
+The heap stores ``(time, priority, seq, event)`` tuples so that sift
+operations compare native tuples in C instead of calling
+``Event.__lt__``; ``seq`` is unique per event, so the ordering is the
+same total order and the :class:`Event` payload is never compared.
+
 The engine is deliberately minimal: it has no notion of processes or
 resources.  The preemptive CPU model lives in
 :mod:`repro.db.server`, built from plain events and timers.
@@ -13,9 +18,11 @@ resources.  The preemptive CPU model lives in
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.sim.events import Event
+
+_HeapEntry = Tuple[float, int, int, Event]
 
 
 class SimulationError(RuntimeError):
@@ -25,10 +32,11 @@ class SimulationError(RuntimeError):
 class Timer:
     """Handle to a scheduled event; supports cancellation and queries."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: Event) -> None:
+    def __init__(self, event: Event, sim: "Simulator") -> None:
         self._event = event
+        self._sim = sim
 
     @property
     def time(self) -> float:
@@ -38,11 +46,16 @@ class Timer:
     @property
     def active(self) -> bool:
         """True while the event is still pending (not fired, not cancelled)."""
-        return not self._event.cancelled
+        event = self._event
+        return not (event.cancelled or event.fired)
 
     def cancel(self) -> None:
-        """Cancel the pending event.  Idempotent."""
-        self._event.cancelled = True
+        """Cancel the pending event.  Idempotent; a no-op once fired."""
+        event = self._event
+        if event.cancelled or event.fired:
+            return
+        event.cancelled = True
+        self._sim._on_cancel()
 
 
 class Simulator:
@@ -57,9 +70,10 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[Event] = []
+        self._heap: List[_HeapEntry] = []
         self._seq = 0
         self._fired = 0
+        self._live = 0
         self._running = False
 
     @property
@@ -69,13 +83,18 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still in the queue (including cancelled ones)."""
-        return len(self._heap)
+        """Number of live events still awaiting their firing time
+        (cancelled events are excluded the moment they are cancelled)."""
+        return self._live
 
     @property
     def events_fired(self) -> int:
         """Number of events executed so far (cancelled events excluded)."""
         return self._fired
+
+    def _on_cancel(self) -> None:
+        """Bookkeeping hook for :meth:`Timer.cancel` (lazy deletion)."""
+        self._live -= 1
 
     def schedule(
         self,
@@ -100,10 +119,12 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at t={at:.6f} before now={self._now:.6f}"
             )
-        self._seq += 1
-        event = Event(time=at, priority=priority, seq=self._seq, callback=callback)
-        heapq.heappush(self._heap, event)
-        return Timer(event)
+        seq = self._seq + 1
+        self._seq = seq
+        event = Event(at, priority, seq, callback)
+        heapq.heappush(self._heap, (at, priority, seq, event))
+        self._live += 1
+        return Timer(event, self)
 
     def schedule_after(
         self,
@@ -121,17 +142,19 @@ class Simulator:
         self._drop_cancelled()
         if not self._heap:
             return None
-        return self._heap[0].time
+        return self._heap[0][0]
 
     def step(self) -> bool:
         """Fire the next live event.  Returns False when the queue is empty."""
         self._drop_cancelled()
         if not self._heap:
             return False
-        event = heapq.heappop(self._heap)
-        self._now = event.time
+        time, _, _, event = heapq.heappop(self._heap)
+        self._now = time
         self._fired += 1
-        event.fire()
+        self._live -= 1
+        event.fired = True
+        event.callback()
         return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
@@ -149,20 +172,27 @@ class Simulator:
             raise SimulationError("run() is not reentrant")
         self._running = True
         fired = 0
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            while True:
+            while heap:
                 if max_events is not None and fired >= max_events:
                     break
-                self._drop_cancelled()
-                if not self._heap:
+                head = heap[0]
+                event = head[3]
+                if event.cancelled:
+                    pop(heap)
+                    continue
+                time = head[0]
+                if until is not None and time > until:
                     break
-                if until is not None and self._heap[0].time > until:
-                    break
-                event = heapq.heappop(self._heap)
-                self._now = event.time
+                pop(heap)
+                self._now = time
                 self._fired += 1
                 fired += 1
-                event.fire()
+                self._live -= 1
+                event.fired = True
+                event.callback()
         finally:
             self._running = False
         if until is not None and self._now < until:
@@ -170,5 +200,6 @@ class Simulator:
         return self._now
 
     def _drop_cancelled(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][3].cancelled:
+            heapq.heappop(heap)

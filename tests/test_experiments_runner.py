@@ -1,13 +1,43 @@
 """End-to-end tests of the experiment runner."""
 
+from types import SimpleNamespace
 
 import pytest
 
 from repro.db.transactions import Outcome
 from repro.experiments.config import SCALES, ExperimentConfig, build_experiment
-from repro.experiments.runner import run_experiment
+from repro.experiments.runner import _drain_window, run_experiment
 
 SMOKE = SCALES["smoke"]
+
+
+class TestDrainWindow:
+    @staticmethod
+    def _trace(*pairs):
+        return SimpleNamespace(
+            queries=[
+                SimpleNamespace(arrival=arrival, relative_deadline=deadline)
+                for arrival, deadline in pairs
+            ]
+        )
+
+    def test_window_covers_latest_pending_deadline(self):
+        trace = self._trace((1.0, 4.0), (9.0, 30.0))  # deadlines: 5, 39
+        assert _drain_window(trace, 10.0) == pytest.approx(30.0)
+
+    def test_deadlines_inside_horizon_need_only_the_epsilon(self):
+        trace = self._trace((1.0, 2.0), (3.0, 4.0))
+        assert _drain_window(trace, 10.0) == 1.0
+
+    def test_early_long_deadline_does_not_over_extend(self):
+        # The window follows max(arrival + relative_deadline), not
+        # horizon + max(relative_deadline): a long deadline on an early
+        # arrival must not inflate it.
+        trace = self._trace((0.0, 8.0), (9.5, 1.0))  # deadlines: 8, 10.5
+        assert _drain_window(trace, 10.0) == pytest.approx(1.5)
+
+    def test_empty_trace(self):
+        assert _drain_window(SimpleNamespace(queries=[]), 10.0) == 1.0
 
 
 class TestConfig:

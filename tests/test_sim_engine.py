@@ -150,6 +150,38 @@ def test_run_is_not_reentrant():
     assert len(errors) == 1
 
 
+def test_pending_excludes_cancelled_immediately():
+    sim = Simulator()
+    timer = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending == 2
+    timer.cancel()
+    assert sim.pending == 1
+
+
+def test_pending_decrements_as_events_fire():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.run(until=1.0)
+    assert sim.pending == 1
+    sim.run()
+    assert sim.pending == 0
+
+
+def test_cancel_after_fire_is_a_noop():
+    sim = Simulator()
+    timer = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    sim.run(until=1.5)
+    assert not timer.active
+    timer.cancel()  # must not corrupt the live-event count
+    assert sim.pending == 1
+    sim.run()
+    assert sim.events_fired == 2
+    assert sim.pending == 0
+
+
 def test_peek_time_skips_cancelled():
     sim = Simulator()
     timer = sim.schedule(1.0, lambda: None)

@@ -4,10 +4,20 @@ import pytest
 
 from repro.core.usm import PenaltyProfile
 from repro.experiments.config import SCALES
-from repro.experiments.sweep import run_grid, run_grid_parallel
+from repro.experiments.sweep import WORKERS_ENV, run_grid, run_grid_parallel
 from repro.workload.__main__ import main as workload_main
 
+from tests.test_determinism_regression import _stable_report_bytes
+
 SMOKE = SCALES["smoke"]
+
+GRID_KWARGS = dict(
+    policies=("unit", "imu"),
+    traces=("low-unif", "med-neg"),
+    profiles=(PenaltyProfile.naive(),),
+    scale=SMOKE,
+    seed=5,
+)
 
 
 class TestParallelSweep:
@@ -39,6 +49,53 @@ class TestParallelSweep:
 
     def test_empty_grid(self):
         assert run_grid_parallel((), (), (), SMOKE) == {}
+
+
+class TestExecutorDeterminism:
+    def test_parallel_reports_byte_identical_to_serial(self):
+        serial = run_grid(**GRID_KWARGS)
+        parallel = run_grid_parallel(workers=2, **GRID_KWARGS)
+        assert list(serial) == list(parallel)  # entry order, not just keys
+        for key in serial:
+            assert _stable_report_bytes(serial[key]) == _stable_report_bytes(
+                parallel[key]
+            )
+
+    def test_serial_progress_callback_fires_per_cell(self):
+        calls = []
+        run_grid(
+            progress_callback=lambda key, report, done, total: calls.append(
+                (key, done, total)
+            ),
+            **GRID_KWARGS,
+        )
+        assert len(calls) == 4
+        assert calls[-1][1:] == (4, 4)
+
+    def test_parallel_progress_callback_fires_per_cell(self):
+        calls = []
+        run_grid_parallel(
+            workers=2,
+            progress_callback=lambda key, report, done, total: calls.append(done),
+            **GRID_KWARGS,
+        )
+        assert sorted(calls) == [1, 2, 3, 4]
+
+    def test_env_override_routes_run_grid_through_pool(self, monkeypatch):
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        baseline = run_grid(**GRID_KWARGS)
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        routed = run_grid(**GRID_KWARGS)
+        assert list(baseline) == list(routed)
+        for key in baseline:
+            assert _stable_report_bytes(baseline[key]) == _stable_report_bytes(
+                routed[key]
+            )
+
+    def test_malformed_env_override_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "lots")
+        reports = run_grid(**GRID_KWARGS)
+        assert len(reports) == 4
 
 
 class TestWorkloadCli:

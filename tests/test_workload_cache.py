@@ -1,0 +1,105 @@
+"""Tests for the content-addressed workload cache.
+
+The cache is only sound if (a) the key covers exactly the
+workload-shaping config fields and (b) a cached run is byte-identical
+to an uncached one.  Both are asserted here.
+"""
+
+from repro.core.usm import TABLE2_PROFILES
+from repro.experiments.config import SCALES, ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.workload.cache import CACHE_DIR_ENV, WorkloadCache, default_cache
+
+from tests.test_determinism_regression import _stable_report_bytes
+
+SMOKE = SCALES["smoke"]
+
+
+def _config(**overrides):
+    base = dict(policy="unit", update_trace="med-unif", seed=7, scale=SMOKE)
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+class TestWorkloadKey:
+    def test_key_is_stable_across_equal_configs(self):
+        assert _config().workload_key() == _config().workload_key()
+
+    def test_policy_and_profile_do_not_shape_the_workload(self):
+        """Fields that only affect the *policy* must share one key —
+        that sharing is the whole point of the cache."""
+        key = _config().workload_key()
+        assert _config(policy="odu").workload_key() == key
+        assert _config(policy="elastic").workload_key() == key
+        assert _config(profile=TABLE2_PROFILES["gt1-high-cfs"]).workload_key() == key
+        assert _config(keep_records=True).workload_key() == key
+
+    def test_workload_fields_change_the_key(self):
+        key = _config().workload_key()
+        assert _config(seed=8).workload_key() != key
+        assert _config(update_trace="med-pos").workload_key() != key
+        assert _config(scale=SCALES["small"]).workload_key() != key
+        assert _config(zipf_skew=1.7).workload_key() != key
+        assert _config(items_per_query=2).workload_key() != key
+        assert _config(freshness_req=0.5).workload_key() != key
+
+
+class TestCacheBehavior:
+    def test_hit_returns_the_same_objects(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        cache = WorkloadCache()
+        first = cache.get(_config())
+        second = cache.get(_config(policy="imu"))  # same workload key
+        assert second[0] is first[0]
+        assert second[1] is first[1]
+        assert (cache.hits, cache.misses, cache.disk_hits) == (1, 1, 0)
+
+    def test_lru_bound_is_enforced(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        cache = WorkloadCache(max_entries=1)
+        cache.get(_config())
+        cache.get(_config(update_trace="med-pos"))  # evicts the first
+        assert len(cache) == 1
+        cache.get(_config())  # regenerated, not remembered
+        assert cache.misses == 3
+
+    def test_disk_tier_round_trip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        writer = WorkloadCache()
+        query_trace, update_trace = writer.get(_config())
+        reader = WorkloadCache()  # fresh memory: must come from disk
+        query_loaded, update_loaded = reader.get(_config())
+        assert (reader.disk_hits, reader.misses) == (1, 0)
+        assert len(query_loaded.queries) == len(query_trace.queries)
+        assert query_loaded.queries[0].arrival == query_trace.queries[0].arrival
+        assert [item.period for item in update_loaded.items] == [
+            item.period for item in update_trace.items
+        ]
+
+    def test_corrupt_disk_entry_regenerates(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        WorkloadCache().get(_config())
+        for path in tmp_path.iterdir():
+            path.write_bytes(b"not a pickle")
+        fresh = WorkloadCache()
+        fresh.get(_config())
+        assert (fresh.disk_hits, fresh.misses) == (0, 1)
+
+    def test_disabled_env_values_mean_memory_only(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, "off")
+        cache = WorkloadCache()
+        cache.get(_config())
+        assert cache._disk_path("x") is None
+
+
+class TestCachedRunsAreByteIdentical:
+    def test_warm_cache_changes_nothing(self, monkeypatch):
+        """The regression gate for the whole scheme: a report computed
+        from a cache hit is byte-for-byte the report computed from a
+        freshly generated workload."""
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        cache = default_cache()
+        cache.clear()
+        cold = _stable_report_bytes(run_experiment(_config()))  # miss
+        warm = _stable_report_bytes(run_experiment(_config()))  # hit
+        assert cold == warm
