@@ -85,6 +85,85 @@ def test_bench_single_run_events_per_sec(benchmark, bench_scale, bench_seed):
     assert report.queries_submitted > 0
 
 
+def test_bench_null_recorder_overhead(bench_scale, bench_seed):
+    """Disabled observability must stay within 2% of the plain run.
+
+    The default path holds the shared ``NULL_RECORDER``: every
+    instrumentation site costs one attribute load and an untaken
+    branch.  Host noise on ~50 ms runs dwarfs that, so the baseline
+    (no ``obs`` config at all) and the explicit null-recorder run are
+    timed *interleaved* round by round and compared min-to-min — the
+    only stable way to resolve a 2% budget.  The enabled-recorder run
+    is measured too, recorded for the docs but not gated.
+    """
+    import dataclasses
+    import time
+
+    from repro.obs.config import ObsConfig
+
+    plain = ExperimentConfig(
+        policy="unit", update_trace="med-unif", seed=bench_seed, scale=bench_scale
+    )
+    null = dataclasses.replace(plain, obs=ObsConfig(enabled=False))
+    enabled = dataclasses.replace(plain, obs=ObsConfig(enabled=True))
+    # obs is excluded from the workload key, so one warm covers all.
+    default_cache().warm([plain])
+
+    def timed(config):
+        started = time.perf_counter()
+        report = run_experiment(config)
+        return time.perf_counter() - started, report
+
+    timed(plain)  # warmup
+    # Even interleaved best-of-N swings a few percent on ~50 ms runs;
+    # a real regression shows up in *every* trial, noise spikes don't,
+    # so the gate is the minimum overhead across independent trials.
+    plain_best = null_best = float("inf")
+    overhead_pct = float("inf")
+    report = None
+    for _ in range(3):
+        trial_plain = trial_null = float("inf")
+        for _ in range(7):
+            elapsed, _unused = timed(plain)
+            trial_plain = min(trial_plain, elapsed)
+            elapsed, report = timed(null)
+            trial_null = min(trial_null, elapsed)
+        plain_best = min(plain_best, trial_plain)
+        null_best = min(null_best, trial_null)
+        overhead_pct = min(
+            overhead_pct, (trial_null - trial_plain) / trial_plain * 100.0
+        )
+
+    events = report.events_fired
+
+    enabled_best = float("inf")
+    for _ in range(3):
+        elapsed, enabled_report = timed(enabled)
+        enabled_best = min(enabled_best, elapsed)
+
+    _record(
+        "obs_null",
+        {
+            "seed": bench_seed,
+            "events": events,
+            "baseline_events_per_sec": round(events / plain_best, 1),
+            "events_per_sec": round(events / null_best, 1),
+            "enabled_events_per_sec": round(
+                enabled_report.events_fired / enabled_best, 1
+            ),
+            "overhead_pct": round(overhead_pct, 2),
+        },
+    )
+
+    assert events > 0
+    # Disabled obs must not attach any observability payload.
+    assert report.obs_summary is None
+    assert overhead_pct <= 2.0, (
+        f"NullRecorder path is {overhead_pct:.2f}% slower than the plain "
+        f"run ({null_best * 1e3:.1f} ms vs {plain_best * 1e3:.1f} ms best)"
+    )
+
+
 def test_bench_paired_grid_wall_clock(benchmark, bench_scale, bench_seed):
     reports = benchmark.pedantic(
         run_grid,

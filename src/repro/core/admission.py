@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, List
 
 from repro.core.usm import PenaltyProfile
 from repro.db.transactions import QueryTransaction
+from repro.obs.trace import NULL_RECORDER, Recorder
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.db.server import Server
@@ -68,6 +69,9 @@ class AdmissionController:
         # feedback the LBC relies on to shed that very load.
         self.update_load = 0.0
         self.max_drain_stretch = 2.0
+        # Trace recorder; the owning policy swaps in a live one at bind
+        # time when observability is enabled.
+        self.recorder: Recorder = NULL_RECORDER
 
     # ------------------------------------------------------------------
     # LBC control signals
@@ -143,6 +147,21 @@ class AdmissionController:
 
     def decide(self, query: QueryTransaction, server: "Server") -> AdmissionDecision:
         """Run both admission gates for an arriving query."""
+        decision = self._decide(query, server)
+        rec = self.recorder
+        if rec.enabled:
+            rec.admission_decision(
+                server.now,
+                query.txn_id,
+                decision.admitted,
+                decision.reason,
+                decision.est,
+                decision.endangered,
+                self.c_flex,
+            )
+        return decision
+
+    def _decide(self, query: QueryTransaction, server: "Server") -> AdmissionDecision:
         # Paper Section 3.3: reject unless C_flex * EST + qe < qt.  The
         # drain stretch is folded into the EST (the backlog drains
         # slower under update load); the query's own execution time is

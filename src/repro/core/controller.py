@@ -21,6 +21,7 @@ import random
 from typing import List, Optional
 
 from repro.core.usm import UsmWindow
+from repro.obs.trace import NULL_RECORDER, Recorder
 
 
 class ControlSignal(enum.Enum):
@@ -53,6 +54,9 @@ class LoadBalancingController:
         self._last_usm: Optional[float] = None
         self.allocations = 0
         self.signal_counts = {signal: 0 for signal in ControlSignal}
+        # Trace recorder; swapped in by the owning policy at bind time.
+        # Emission never draws from ``rng`` — tie-breaks are untouched.
+        self.recorder: Recorder = NULL_RECORDER
 
     def check_drop(self, now: float) -> bool:
         """True when the windowed USM fell by more than the threshold
@@ -103,4 +107,14 @@ class LoadBalancingController:
         self.allocations += 1
         for signal in signals:
             self.signal_counts[signal] += 1
+        rec = self.recorder
+        if rec.enabled:
+            rec.control_allocate(
+                now,
+                dict(costs),
+                dominant,
+                [signal.value for signal in signals],
+                self._last_usm,
+                self.window.sample_size(now),
+            )
         return signals

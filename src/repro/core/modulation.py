@@ -19,6 +19,8 @@ from typing import List, Optional
 
 from repro.core.tickets import TicketBook
 from repro.db.items import ItemTable
+from repro.obs.trace import NULL_RECORDER, Recorder
+from repro.sim.engine import Simulator
 
 DEFAULT_C_DU = 0.1  # period stretch per degrade (Eq. 9)
 DEFAULT_C_UU = 0.5  # period shrink per upgrade (Eq. 10)
@@ -62,6 +64,16 @@ class UpdateFrequencyModulator:
         self._rng = rng
         self.degrade_events = 0
         self.upgrade_events = 0
+        # Observability: the modulator has no clock, so the recorder is
+        # paired with the simulator whose virtual time stamps the
+        # modulation.change events.  Disabled by default.
+        self._obs: Recorder = NULL_RECORDER
+        self._obs_sim: Optional[Simulator] = None
+
+    def bind_observer(self, recorder: Recorder, sim: Simulator) -> None:
+        """Attach a trace recorder; event times come from ``sim.now``."""
+        self._obs = recorder
+        self._obs_sim = sim
 
     def degrade(self, rounds: int = 1) -> List[int]:
         """Handle a Degrade Update signal: ``rounds`` lottery picks,
@@ -96,8 +108,19 @@ class UpdateFrequencyModulator:
                 victim = self._sample_below_cap()
                 if victim is None:
                     break
-            self.items[victim].degrade_period(self.c_du)
+            item = self.items[victim]
+            before_period = item.current_period
+            item.degrade_period(self.c_du)
             victims.append(victim)
+            obs = self._obs
+            if obs.enabled and self._obs_sim is not None:
+                obs.modulation_change(
+                    self._obs_sim.now,
+                    victim,
+                    "degrade",
+                    before_period,
+                    item.current_period,
+                )
         if victims:
             self.degrade_events += 1
         return victims
@@ -121,11 +144,20 @@ class UpdateFrequencyModulator:
         """
         self.relax_threshold()
         changed: List[int] = []
+        obs = self._obs
         for item in self.items.degraded_items():
             before = item.current_period
             item.upgrade_period(self.c_uu)
             if item.current_period != before:
                 changed.append(item.item_id)
+                if obs.enabled and self._obs_sim is not None:
+                    obs.modulation_change(
+                        self._obs_sim.now,
+                        item.item_id,
+                        "upgrade",
+                        before,
+                        item.current_period,
+                    )
         if changed:
             self.upgrade_events += 1
         return changed

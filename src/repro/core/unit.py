@@ -32,7 +32,8 @@ from repro.core.usm import PenaltyProfile, UsmWindow
 from repro.db.items import DataItem
 from repro.db.policy_api import ServerPolicy
 from repro.db.server import CONTROL_EVENT_PRIORITY
-from repro.db.transactions import QueryRecord, QueryTransaction, UpdateTransaction
+from repro.db.transactions import Outcome, QueryRecord, QueryTransaction, UpdateTransaction
+from repro.obs.trace import NULL_RECORDER, Recorder
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.db.server import Server
@@ -109,9 +110,18 @@ class UnitConfig:
 class UnitPolicy(ServerPolicy):
     """UNIT: USM-maximizing admission control + update modulation."""
 
-    def __init__(self, config: UnitConfig, rng: random.Random) -> None:
+    def __init__(
+        self,
+        config: UnitConfig,
+        rng: random.Random,
+        recorder: Optional[Recorder] = None,
+    ) -> None:
         self.config = config
         self._rng = rng
+        # Observability sink shared with the AC / LBC / UM modules.
+        # Emission never touches ``rng``, so traced and untraced runs
+        # follow identical control trajectories.
+        self.obs: Recorder = recorder if recorder is not None else NULL_RECORDER
         # Built at bind() time, when the item table is known.
         self.tickets: Optional[TicketBook] = None
         self.modulator: Optional[UpdateFrequencyModulator] = None
@@ -157,6 +167,10 @@ class UnitPolicy(ServerPolicy):
             usm_drop_threshold=config.usm_drop_fraction * config.profile.usm_range,
             min_samples=config.min_window_samples,
         )
+        if self.obs.enabled:
+            self.admission.recorder = self.obs
+            self.lbc.recorder = self.obs
+            self.modulator.bind_observer(self.obs, server.sim)
         server.sim.schedule_after(
             config.control_period, self._control_tick, priority=CONTROL_EVENT_PRIORITY
         )
@@ -261,3 +275,37 @@ class UnitPolicy(ServerPolicy):
                     self.modulator.degrade(self._degrade_rounds)
             elif signal is ControlSignal.UPGRADE_UPDATES:
                 self.modulator.upgrade_all()
+        rec = self.obs
+        if rec.enabled:
+            self._emit_window_snapshot(rec, signals)
+
+    def _emit_window_snapshot(
+        self, rec: Recorder, signals: Sequence[ControlSignal]
+    ) -> None:
+        """Record a ``control.window`` event: the Eq. 5 decomposition of
+        the sliding window plus the knob values the signals left behind."""
+        assert self._server is not None and self.usm_window is not None
+        assert self.admission is not None and self.modulator is not None
+        assert self.tickets is not None
+        now = self._server.now
+        window = self.usm_window
+        ratios = window.ratios(now)
+        components = {
+            "S": ratios[Outcome.SUCCESS] * window.profile.gain,
+            **window.cost_components(now),
+            "ratio_success": ratios[Outcome.SUCCESS],
+            "ratio_rejected": ratios[Outcome.REJECTED],
+            "ratio_deadline_miss": ratios[Outcome.DEADLINE_MISS],
+            "ratio_data_stale": ratios[Outcome.DATA_STALE],
+        }
+        rec.control_window(
+            now,
+            components,
+            window.average_usm(now),
+            window.sample_size(now),
+            [signal.value for signal in signals],
+            self.admission.c_flex,
+            self.admission.update_load,
+            self.modulator.degraded_count(),
+            self.tickets.threshold,
+        )

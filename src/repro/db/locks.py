@@ -20,6 +20,8 @@ import enum
 from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.db.transactions import QueryTransaction, UpdateTransaction
+from repro.obs.trace import NULL_RECORDER, Recorder
+from repro.sim.engine import Simulator
 
 Transaction = Union[QueryTransaction, UpdateTransaction]
 
@@ -88,6 +90,16 @@ class LockManager:
         self._locks: Dict[int, _ItemLock] = {}
         self._held_by: Dict[int, Set[int]] = {}  # txn_id -> item ids held
         self._waiting_on: Dict[int, int] = {}  # txn_id -> item id waited on
+        # Observability: the lock table has no clock of its own, so the
+        # recorder comes paired with the simulator whose virtual time
+        # stamps the wait/preempt events.  Disabled by default.
+        self._obs: Recorder = NULL_RECORDER
+        self._obs_sim: Optional[Simulator] = None
+
+    def bind_observer(self, recorder: Recorder, sim: Simulator) -> None:
+        """Attach a trace recorder; event times come from ``sim.now``."""
+        self._obs = recorder
+        self._obs_sim = sim
 
     # ------------------------------------------------------------------
     # queries
@@ -168,10 +180,28 @@ class LockManager:
         ]
         if higher_priority_conflicts or blocking_waiters:
             self._enqueue_waiter(lock, txn, mode, item_id)
+            obs = self._obs
+            if obs.enabled and self._obs_sim is not None:
+                obs.lock_wait(
+                    self._obs_sim.now,
+                    txn.txn_id,
+                    item_id,
+                    txn.is_update,
+                    sorted(lock.holders),
+                )
             return LockRequestResult(LockStatus.BLOCKED)
 
         # Every conflicting holder has strictly lower priority: 2PL-HP
         # says abort them all.
+        obs = self._obs
+        if obs.enabled and self._obs_sim is not None:
+            obs.lock_preempt(
+                self._obs_sim.now,
+                txn.txn_id,
+                item_id,
+                txn.is_update,
+                sorted(victim.txn_id for victim in conflicting),
+            )
         return LockRequestResult(LockStatus.CONFLICT, victims=tuple(conflicting))
 
     def _enqueue_waiter(

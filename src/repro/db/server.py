@@ -38,6 +38,7 @@ from repro.db.transactions import (
     TransactionState,
     UpdateTransaction,
 )
+from repro.obs.trace import NULL_RECORDER, Recorder
 from repro.sim.engine import Simulator, Timer
 
 Transaction = Union[QueryTransaction, UpdateTransaction]
@@ -81,14 +82,21 @@ class Server:
         items: ItemTable,
         policy: ServerPolicy,
         config: Optional[ServerConfig] = None,
+        recorder: Optional[Recorder] = None,
     ) -> None:
         self.sim = sim
         self.items = items
         self.policy = policy
         self.config = config or ServerConfig()
+        # Observability: every instrumentation site guards on
+        # ``self.obs.enabled`` so the default (null recorder) costs one
+        # attribute check per occurrence.
+        self.obs: Recorder = recorder if recorder is not None else NULL_RECORDER
 
         self.ready = ReadyQueue()
         self.locks = LockManager()
+        if self.obs.enabled:
+            self.locks.bind_observer(self.obs, sim)
 
         self._running: Optional[Transaction] = None
         self._completion_timer: Optional[Timer] = None
@@ -141,6 +149,9 @@ class Server:
             self._finalize_query(query, Outcome.REJECTED, freshness=None)
             return
 
+        obs = self.obs
+        if obs.enabled:
+            obs.query_admit(self.now, query.txn_id, query.deadline, len(query.items))
         self._live_queries[query.txn_id] = query
         self.policy.on_query_admitted(query, self)
         self._deadline_timers[query.txn_id] = self.sim.schedule(
@@ -169,6 +180,9 @@ class Server:
             self._dispatch()
         else:
             item.record_drop()
+            obs = self.obs
+            if obs.enabled:
+                obs.update_drop(self.now, item_id, item.current_period)
 
     def spawn_refresh(self, item: DataItem, query: QueryTransaction) -> UpdateTransaction:
         """Issue an on-demand refresh of ``item`` on behalf of ``query``
@@ -438,6 +452,11 @@ class Server:
         item.apply_update(update.seqno, self.now)
         item.last_execution_started = self.now - update.exec_time
         self.policy.on_update_applied(update, item, self)
+        obs = self.obs
+        if obs.enabled:
+            obs.update_apply(
+                self.now, update.item_id, update.txn_id, update.on_demand, update.period
+            )
 
         for query_id in self._refresh_waiters.pop(update.txn_id, set()):
             pending = self._query_refreshes.get(query_id)
@@ -572,4 +591,15 @@ class Server:
         )
         self.records.append(record)
         self.outcome_counts[outcome] += 1
+        obs = self.obs
+        if obs.enabled:
+            obs.query_outcome(
+                self.now,
+                query.txn_id,
+                outcome.value,
+                query.arrival,
+                self.now - query.arrival,
+                freshness,
+                query.restarts,
+            )
         self.policy.on_query_outcome(record, self)

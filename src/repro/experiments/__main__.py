@@ -12,9 +12,15 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 
 from repro.experiments.config import POLICIES, SCALES
+from repro.obs.logging_setup import (
+    add_verbosity_flags,
+    configure_logging,
+    verbosity_from_args,
+)
 from repro.experiments.figures import (
     figure3,
     figure4,
@@ -141,6 +147,7 @@ def main(argv=None) -> int:
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables and figures.",
     )
+    add_verbosity_flags(parser)
     parser.add_argument("target", choices=TARGETS)
     parser.add_argument(
         "--scale",
@@ -168,6 +175,12 @@ def main(argv=None) -> int:
         help="for `run`",
     )
     args = parser.parse_args(argv)
+    configure_logging(verbosity_from_args(args))
+    if args.progress:
+        # --progress means "show the per-run lines" regardless of -v:
+        # raise just the experiments subtree to INFO (stderr), keeping
+        # stdout clean for the rendered tables.
+        logging.getLogger("repro.experiments").setLevel(logging.INFO)
     scale = SCALES[args.scale]
 
     if args.target == "run":

@@ -17,6 +17,7 @@ from repro.core.elastic import ElasticConfig
 from repro.core.qmf import QmfConfig
 from repro.core.unit import UnitConfig
 from repro.core.usm import PenaltyProfile
+from repro.obs.config import ObsConfig
 from repro.workload.updates import STANDARD_UPDATE_TRACES
 
 # "elastic" is the related-work baseline (Buttazzo-style uniform period
@@ -101,6 +102,12 @@ class ExperimentConfig:
 
     # Bookkeeping.
     keep_records: bool = False
+
+    # Observability (None = disabled: the server runs with the shared
+    # NULL_RECORDER and pays only a guard per would-be event).  The
+    # workload key deliberately excludes this field — tracing does not
+    # shape the traces.
+    obs: Optional[ObsConfig] = None
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:

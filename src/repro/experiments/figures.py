@@ -19,7 +19,10 @@ from repro.experiments.config import ExperimentConfig, ExperimentScale
 from repro.experiments.report import ascii_table, bar_chart, decile_histogram
 from repro.experiments.runner import SimulationReport, run_experiment
 from repro.experiments.sweep import run_grid
+from repro.obs.logging_setup import get_logger
 from repro.workload.correlation import pearson
+
+_log = get_logger(__name__)
 
 ALL_POLICIES = ("imu", "odu", "qmf", "unit")
 VOLUMES = ("low", "med", "high")
@@ -276,7 +279,7 @@ def figure6(
         )
         panel_a.append(RatioBar.from_report(policy.upper(), report))
         if progress:
-            print(f"[fig6] {policy} done ({report.wall_seconds:.1f}s)")
+            _log.info("[fig6] %s done (%.1fs)", policy, report.wall_seconds)
 
     panel_b: List[RatioBar] = []
     for key in ("lt1-high-cr", "lt1-high-cfm", "lt1-high-cfs"):
@@ -292,7 +295,7 @@ def figure6(
         )
         panel_b.append(RatioBar.from_report(f"UNIT {profile.name}", report))
         if progress:
-            print(f"[fig6] unit/{key} done ({report.wall_seconds:.1f}s)")
+            _log.info("[fig6] unit/%s done (%.1fs)", key, report.wall_seconds)
     return {"baselines": panel_a, "unit": panel_b}
 
 

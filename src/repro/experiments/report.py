@@ -1,13 +1,42 @@
-"""ASCII rendering of tables and bar series.
+"""ASCII rendering of tables and bar series, plus JSON-safe helpers.
 
 The harness prints the same rows/series the paper's tables and figures
 report; these helpers keep that output aligned and readable in a
-terminal or a log file.
+terminal or a log file.  :func:`json_sanitize` and :func:`stats_dict`
+guard the JSON-report path: ``json.dumps`` happily emits the bare
+tokens ``Infinity``/``NaN`` (invalid JSON to strict parsers), which is
+exactly what an empty :class:`~repro.sim.stats.OnlineStats` leaks
+through its ``minimum``/``maximum`` sentinels.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional, Sequence
+
+from repro.sim.stats import OnlineStats
+
+
+def json_sanitize(value: object) -> object:
+    """Recursively replace non-finite floats with ``None`` (→ ``null``).
+
+    Dicts and lists/tuples are rebuilt; every other value passes
+    through untouched.  Run over any payload headed for ``json.dump``
+    so empty-stream ±inf sentinels and NaNs never reach a report file.
+    """
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {key: json_sanitize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_sanitize(item) for item in value]
+    return value
+
+
+def stats_dict(stats: OnlineStats) -> Dict[str, Optional[float]]:
+    """JSON-safe summary of an :class:`OnlineStats`: min/max are
+    ``None`` when the stream is empty, never ±inf."""
+    return stats.as_dict()
 
 
 def ascii_table(

@@ -23,6 +23,15 @@ from repro.db.policy_api import ServerPolicy
 from repro.db.server import ARRIVAL_EVENT_PRIORITY, Server, ServerConfig
 from repro.db.transactions import Outcome, QueryRecord, QueryTransaction
 from repro.experiments.config import ExperimentConfig
+from repro.obs.config import ObsConfig
+from repro.obs.export import (
+    write_chrome_trace,
+    write_controller_csv,
+    write_prometheus,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import RunMetrics
+from repro.obs.trace import Recorder, TraceRecorder
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
 from repro.workload.cache import get_workload
@@ -57,6 +66,14 @@ class SimulationReport:
     wall_seconds: float
     events_fired: int
     records: Optional[List[QueryRecord]] = None
+    # Observability (all None when ``config.obs`` is unset/disabled —
+    # the byte-identity contract of tests/test_determinism_regression
+    # deliberately excludes every field below plus wall timings).
+    phase_seconds: Optional[Dict[str, float]] = None
+    obs_summary: Optional[Dict[str, object]] = None
+    obs_metrics: Optional[Dict[str, object]] = None
+    obs_events: Optional[List[Dict[str, object]]] = None
+    obs_artifacts: Optional[Dict[str, str]] = None
 
     @property
     def success_ratio(self) -> float:
@@ -83,10 +100,21 @@ class SimulationReport:
         return "\n".join(lines)
 
 
-def make_policy(config: ExperimentConfig, streams: RandomStreams) -> ServerPolicy:
-    """Instantiate the configured policy."""
+def make_policy(
+    config: ExperimentConfig,
+    streams: RandomStreams,
+    recorder: Optional[Recorder] = None,
+) -> ServerPolicy:
+    """Instantiate the configured policy.
+
+    ``recorder`` reaches only the UNIT policy (the control modules are
+    the instrumented ones); baseline policies are still traced at the
+    server and lock-manager level.
+    """
     if config.policy == "unit":
-        return UnitPolicy(config.unit_config(), streams.stream("unit-lottery"))
+        return UnitPolicy(
+            config.unit_config(), streams.stream("unit-lottery"), recorder=recorder
+        )
     if config.policy == "imu":
         return ImuPolicy()
     if config.policy == "odu":
@@ -224,23 +252,63 @@ def _feed_arrivals(
     pump()
 
 
+def _build_recorder(obs_config: Optional[ObsConfig]) -> Optional[TraceRecorder]:
+    """A live recorder when observability is requested, else None."""
+    if obs_config is None or not obs_config.enabled:
+        return None
+    metrics = RunMetrics() if obs_config.metrics else None
+    return TraceRecorder(capacity=obs_config.capacity, metrics=metrics)
+
+
+def _export_artifacts(
+    recorder: TraceRecorder,
+    obs_config: ObsConfig,
+    config: ExperimentConfig,
+) -> Dict[str, str]:
+    """Write the configured trace/metrics artifacts for one cell.
+
+    Paths are derived per cell (label + seed) so parallel sweep workers
+    never collide.  Returns ``{artifact_kind: written_path}``.
+    """
+    paths = obs_config.export_paths(config.label(), config.seed)
+    written: Dict[str, str] = {}
+    if "trace_jsonl" in paths:
+        write_trace_jsonl(recorder, paths["trace_jsonl"])
+        written["trace_jsonl"] = str(paths["trace_jsonl"])
+    if "chrome_json" in paths:
+        write_chrome_trace(recorder, paths["chrome_json"])
+        written["chrome_json"] = str(paths["chrome_json"])
+    if "controller_csv" in paths:
+        write_controller_csv(recorder, paths["controller_csv"])
+        written["controller_csv"] = str(paths["controller_csv"])
+    if "prometheus_txt" in paths and recorder.metrics is not None:
+        write_prometheus(recorder.metrics, paths["prometheus_txt"])  # type: ignore[arg-type]
+        written["prometheus_txt"] = str(paths["prometheus_txt"])
+    return written
+
+
 def run_experiment(config: ExperimentConfig) -> SimulationReport:
     """Run one simulation and collect its report."""
     started = time.perf_counter()
+    phase_seconds: Dict[str, float] = {}
     streams = RandomStreams(config.seed)
     # Workload generation is memoized: traces draw only from named
     # substreams disjoint from the policy streams, so a cache hit is
     # byte-identical to regeneration.
     query_trace, update_trace = get_workload(config)
+    phase_seconds["workload"] = time.perf_counter() - started
 
+    setup_started = time.perf_counter()
+    recorder = _build_recorder(config.obs)
     sim = Simulator()
     items = item_table_from_trace(update_trace)
-    policy = make_policy(config, streams)
+    policy = make_policy(config, streams, recorder=recorder)
     server = Server(
         sim,
         items,
         policy,
         ServerConfig(freshness_metric=config.build_freshness_metric()),
+        recorder=recorder,
     )
 
     # Transaction ids are allocated eagerly in trace order (queries get
@@ -258,10 +326,14 @@ def run_experiment(config: ExperimentConfig) -> SimulationReport:
         for query_spec in query_trace.queries
     ]
     _feed_arrivals(sim, server, query_txns, list(update_trace.arrival_events()))
+    phase_seconds["setup"] = time.perf_counter() - setup_started
 
+    simulate_started = time.perf_counter()
     horizon = config.scale.horizon
     sim.run(until=horizon + _drain_window(query_trace, horizon))
+    phase_seconds["simulate"] = time.perf_counter() - simulate_started
 
+    finalize_started = time.perf_counter()
     unresolved = query_trace_size = len(query_trace.queries)
     unresolved -= len(server.records)
     if unresolved:
@@ -270,8 +342,21 @@ def run_experiment(config: ExperimentConfig) -> SimulationReport:
             "drain window too short?"
         )
 
+    obs_summary: Optional[Dict[str, object]] = None
+    obs_metrics: Optional[Dict[str, object]] = None
+    obs_events: Optional[List[Dict[str, object]]] = None
+    obs_artifacts: Optional[Dict[str, str]] = None
+    if recorder is not None and config.obs is not None:
+        obs_summary = recorder.summary()
+        if recorder.metrics is not None:
+            obs_metrics = recorder.metrics.registry.snapshot()  # type: ignore[attr-defined]
+        if config.obs.keep_events:
+            obs_events = recorder.event_dicts()
+        obs_artifacts = _export_artifacts(recorder, config.obs, config)
+
     accumulator = UsmAccumulator.from_counts(config.profile, server.outcome_counts)
     totals = items.totals()
+    phase_seconds["finalize"] = time.perf_counter() - finalize_started
     report = SimulationReport(
         config=config,
         policy_name=policy.describe(),
@@ -291,5 +376,10 @@ def run_experiment(config: ExperimentConfig) -> SimulationReport:
         wall_seconds=time.perf_counter() - started,
         events_fired=sim.events_fired,
         records=list(server.records) if config.keep_records else None,
+        phase_seconds=phase_seconds,
+        obs_summary=obs_summary,
+        obs_metrics=obs_metrics,
+        obs_events=obs_events,
+        obs_artifacts=obs_artifacts,
     )
     return report

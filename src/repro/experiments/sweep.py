@@ -30,7 +30,10 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 from repro.core.usm import PenaltyProfile
 from repro.experiments.config import ExperimentConfig, ExperimentScale
 from repro.experiments.runner import SimulationReport, run_experiment
+from repro.obs.logging_setup import get_logger
 from repro.workload.cache import CACHE_DIR_ENV, default_cache
+
+_log = get_logger(__name__)
 
 SweepKey = Tuple[str, str, str]  # (policy, trace, profile-name)
 
@@ -54,13 +57,19 @@ def _env_workers() -> Optional[int]:
     return max(1, value)
 
 
-def _print_progress(
+def _log_progress(
     key: SweepKey, report: SimulationReport, done: int, total: int
 ) -> None:
     policy, trace, profile_name = key
-    print(
-        f"[sweep] {done}/{total} {policy:<5} {trace:<9} {profile_name:<15} "
-        f"USM={report.usm:+.4f} ({report.wall_seconds:.1f}s)"
+    _log.info(
+        "[sweep] %d/%d %-5s %-9s %-15s USM=%+.4f (%.1fs)",
+        done,
+        total,
+        policy,
+        trace,
+        profile_name,
+        report.usm,
+        report.wall_seconds,
     )
 
 
@@ -127,7 +136,7 @@ def run_grid(
     :func:`run_grid_parallel`; results are identical either way.
     """
     if progress and progress_callback is None:
-        progress_callback = _print_progress
+        progress_callback = _log_progress
     env_workers = _env_workers()
     if env_workers is not None and env_workers > 1:
         return run_grid_parallel(

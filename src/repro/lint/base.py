@@ -17,7 +17,9 @@ from typing import Dict, FrozenSet, Iterator, List, Type
 #: Components (top-level ``repro`` subpackages) that constitute the
 #: deterministic simulation path.  Wall-clock reads and ambient RNG in
 #: any of these break seed-reproducibility of the figures.
-SIMULATION_COMPONENTS: FrozenSet[str] = frozenset({"sim", "db", "core", "workload"})
+SIMULATION_COMPONENTS: FrozenSet[str] = frozenset(
+    {"sim", "db", "core", "workload", "obs"}
+)
 
 #: Components whose scheduling / victim-selection decisions must not
 #: depend on hash ordering.

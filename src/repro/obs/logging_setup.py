@@ -1,0 +1,102 @@
+"""Quiet-by-default logging shared by every repro CLI.
+
+Library modules call :func:`get_logger` at import time and log freely;
+nothing is printed unless a CLI entry point calls
+:func:`configure_logging` (or the application configures ``logging``
+itself).  Progress output goes to **stderr** so stdout stays reserved
+for the actual artifact (tables, JSON, traces) and remains pipeable.
+
+Verbosity maps CLI flags to levels on the ``repro`` logger::
+
+    -q / --quiet    -> ERROR
+    (default)       -> WARNING
+    -v / --verbose  -> INFO
+    -vv             -> DEBUG
+
+simlint's SL007 forbids bare ``print()`` in library code, which keeps
+all diagnostic output flowing through here.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO
+
+#: Root of the package's logger hierarchy.
+ROOT_LOGGER_NAME = "repro"
+
+_FORMAT = "%(levelname).1s %(name)s: %(message)s"
+
+_LEVEL_BY_VERBOSITY = {
+    -1: logging.ERROR,
+    0: logging.WARNING,
+    1: logging.INFO,
+    2: logging.DEBUG,
+}
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy.
+
+    Pass ``__name__``; module paths already start with ``repro.`` so
+    they parent correctly.  Other names are nested under ``repro``.
+    """
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def verbosity_to_level(verbosity: int) -> int:
+    """Clamp a ``-q``/``-v`` count to a logging level."""
+    clamped = max(-1, min(2, verbosity))
+    return _LEVEL_BY_VERBOSITY[clamped]
+
+
+def configure_logging(
+    verbosity: int = 0, stream: Optional[TextIO] = None
+) -> logging.Logger:
+    """Install one stderr handler on the ``repro`` logger.
+
+    Idempotent: reconfiguring replaces the previously installed
+    handler (recognized by a marker attribute) instead of stacking a
+    second one, so tests and long-lived processes can call this
+    repeatedly.
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    root.setLevel(verbosity_to_level(verbosity))
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    root.addHandler(handler)
+    # Don't double-log through the (possibly configured) root logger.
+    root.propagate = False
+    return root
+
+
+def add_verbosity_flags(parser) -> None:
+    """Attach the standard ``-v``/``-q`` flags to an argparse parser."""
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="increase log verbosity (-v info, -vv debug)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="only log errors",
+    )
+
+
+def verbosity_from_args(args) -> int:
+    """Fold parsed ``-v``/``-q`` flags into one verbosity count."""
+    verbose = int(getattr(args, "verbose", 0) or 0)
+    if getattr(args, "quiet", False):
+        return -1
+    return verbose

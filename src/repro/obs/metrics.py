@@ -1,0 +1,329 @@
+"""Metrics registry: counters, gauges, histograms with fixed buckets.
+
+Instruments are keyed by ``(name, frozen label tuple)`` so a family
+like ``repro_query_outcomes_total`` fans out per ``outcome=...`` label
+without string formatting on the hot path.  Gauges sample into the
+existing :class:`repro.sim.stats.TimeSeries` and histograms fold their
+observations into :class:`repro.sim.stats.OnlineStats`, so the obs
+layer reuses the simulator's own statistics machinery rather than
+growing a parallel one.
+
+:class:`RunMetrics` is the domain-level sink: it owns a registry and
+knows how to fold each trace-event kind (see :mod:`repro.obs.trace`)
+into the right instruments.  It is driven by the trace recorder as
+events are emitted, so metrics cover the whole run even when the trace
+ring buffer wraps.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.obs import trace as _trace
+from repro.sim.stats import OnlineStats, TimeSeries
+
+#: Frozen label set: sorted ``(key, value)`` pairs.
+LabelTuple = Tuple[Tuple[str, str], ...]
+
+#: Fixed bucket edges for query latency (seconds).  Chosen around the
+#: calibrated mean query service time (~50 ms) and typical deadlines.
+LATENCY_EDGES: Tuple[float, ...] = (
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+#: Fixed bucket edges for freshness (a ratio in [0, 1]).
+FRESHNESS_EDGES: Tuple[float, ...] = (
+    0.1,
+    0.2,
+    0.3,
+    0.4,
+    0.5,
+    0.6,
+    0.7,
+    0.8,
+    0.9,
+    0.95,
+    1.0,
+)
+
+
+def freeze_labels(labels: Optional[Mapping[str, str]]) -> LabelTuple:
+    """Canonicalize a label mapping to a hashable, sorted tuple."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelTuple) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"value": self.value}
+
+
+class Gauge:
+    """Point-in-time value, sampled into a :class:`TimeSeries`.
+
+    ``set`` takes the *sim* time of the sample so the series doubles as
+    a plottable trajectory (e.g. USM per controller window).
+    """
+
+    __slots__ = ("name", "labels", "series")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelTuple) -> None:
+        self.name = name
+        self.labels = labels
+        self.series = TimeSeries(name=name)
+
+    def set(self, time: float, value: float) -> None:
+        self.series.append(time, value)
+
+    @property
+    def value(self) -> float:
+        last = self.series.last()
+        return last[1] if last is not None else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "value": self.value,
+            "samples": len(self.series),
+            "mean": self.series.mean(),
+        }
+
+
+class Histogram:
+    """Fixed-bucket histogram plus streaming moments.
+
+    ``edges`` are the inclusive upper bounds of the finite buckets; one
+    implicit ``+Inf`` bucket catches the overflow.  The running
+    count/mean/min/max come from an :class:`OnlineStats`.
+    """
+
+    __slots__ = ("name", "labels", "edges", "bucket_counts", "stats", "total")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: LabelTuple, edges: Tuple[float, ...]) -> None:
+        if not edges or list(edges) != sorted(edges):
+            raise ValueError("edges must be a non-empty ascending sequence")
+        self.name = name
+        self.labels = labels
+        self.edges = edges
+        self.bucket_counts = [0] * (len(edges) + 1)
+        self.stats = OnlineStats()
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.edges, value)] += 1
+        self.stats.add(value)
+        self.total += value
+
+    def cumulative(self) -> List[int]:
+        """Cumulative counts per ``le`` edge (Prometheus semantics)."""
+        out: List[int] = []
+        running = 0
+        for count in self.bucket_counts:
+            running += count
+            out.append(running)
+        return out
+
+    def as_dict(self) -> Dict[str, object]:
+        stats = self.stats
+        return {
+            "count": stats.count,
+            "sum": self.total,
+            "mean": stats.mean,
+            "min": stats.minimum if stats.count else None,
+            "max": stats.maximum if stats.count else None,
+            "edges": list(self.edges),
+            "buckets": list(self.bucket_counts),
+        }
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument in a run."""
+
+    __slots__ = ("_instruments",)
+
+    def __init__(self) -> None:
+        self._instruments: Dict[Tuple[str, LabelTuple], Instrument] = {}
+
+    def counter(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Counter:
+        key = (name, freeze_labels(labels))
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = Counter(name, key[1])
+            self._instruments[key] = inst
+        elif not isinstance(inst, Counter):
+            raise TypeError(f"{name} already registered as {inst.kind}")
+        return inst
+
+    def gauge(self, name: str, labels: Optional[Mapping[str, str]] = None) -> Gauge:
+        key = (name, freeze_labels(labels))
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = Gauge(name, key[1])
+            self._instruments[key] = inst
+        elif not isinstance(inst, Gauge):
+            raise TypeError(f"{name} already registered as {inst.kind}")
+        return inst
+
+    def histogram(
+        self,
+        name: str,
+        edges: Tuple[float, ...],
+        labels: Optional[Mapping[str, str]] = None,
+    ) -> Histogram:
+        key = (name, freeze_labels(labels))
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = Histogram(name, key[1], tuple(edges))
+            self._instruments[key] = inst
+        elif not isinstance(inst, Histogram):
+            raise TypeError(f"{name} already registered as {inst.kind}")
+        elif inst.edges != tuple(edges):
+            raise ValueError(f"{name} already registered with different edges")
+        return inst
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def instruments(self) -> Iterable[Instrument]:
+        """All instruments in deterministic (name, labels) order."""
+        for key in sorted(self._instruments):
+            yield self._instruments[key]
+
+    def snapshot(self) -> Dict[str, object]:
+        """Deterministic, JSON-friendly dump of every instrument."""
+        out: Dict[str, object] = {}
+        for inst in self.instruments():
+            label_part = ",".join(f"{k}={v}" for k, v in inst.labels)
+            key = f"{inst.name}{{{label_part}}}" if label_part else inst.name
+            entry = inst.as_dict()
+            entry["kind"] = inst.kind
+            out[key] = entry
+        return out
+
+
+class RunMetrics:
+    """Fold trace events into a metrics registry.
+
+    Passed to :class:`repro.obs.trace.TraceRecorder` as its ``metrics``
+    sink; every emitted event lands here exactly once, in order.
+    """
+
+    __slots__ = ("registry",)
+
+    #: ``control.window`` fields that are snapshot metadata rather than
+    #: USM components; everything else in the event is gauged as a
+    #: per-window component trajectory.
+    _WINDOW_META = frozenset(
+        {"usm", "samples", "signals", "c_flex", "update_load",
+         "degraded_items", "ticket_threshold"}
+    )
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    def observe_event(self, event: _trace.TraceEvent) -> None:
+        kind = event.kind
+        fields = event.fields
+        reg = self.registry
+        if kind == _trace.QUERY_OUTCOME:
+            outcome = str(fields["outcome"])
+            reg.counter("repro_query_outcomes_total", {"outcome": outcome}).inc()
+            if outcome != "rejected":
+                latency = fields["latency"]
+                if isinstance(latency, (int, float)):
+                    reg.histogram(
+                        "repro_query_latency_seconds", LATENCY_EDGES
+                    ).observe(float(latency))
+                freshness = fields["freshness"]
+                if isinstance(freshness, (int, float)):
+                    reg.histogram(
+                        "repro_query_freshness_ratio", FRESHNESS_EDGES
+                    ).observe(float(freshness))
+                restarts = fields["restarts"]
+                if isinstance(restarts, (int, float)) and restarts:
+                    reg.counter("repro_query_restarts_total").inc(float(restarts))
+        elif kind == _trace.QUERY_ADMIT:
+            reg.counter("repro_query_admitted_total").inc()
+        elif kind == _trace.ADMISSION_DECISION:
+            reg.counter(
+                "repro_admission_decisions_total",
+                {"reason": str(fields["reason"])},
+            ).inc()
+        elif kind == _trace.LOCK_WAIT:
+            reg.counter("repro_lock_waits_total").inc()
+        elif kind == _trace.LOCK_PREEMPT:
+            victims = fields["victims"]
+            reg.counter("repro_lock_preemptions_total").inc()
+            if isinstance(victims, list):
+                reg.counter("repro_lock_preempt_victims_total").inc(len(victims))
+        elif kind == _trace.UPDATE_APPLY:
+            on_demand = "true" if fields["on_demand"] else "false"
+            reg.counter(
+                "repro_updates_applied_total", {"on_demand": on_demand}
+            ).inc()
+        elif kind == _trace.UPDATE_DROP:
+            reg.counter("repro_updates_dropped_total").inc()
+        elif kind == _trace.MODULATION_CHANGE:
+            reg.counter(
+                "repro_modulation_changes_total",
+                {"direction": str(fields["direction"])},
+            ).inc()
+        elif kind == _trace.CONTROL_ALLOCATE:
+            reg.counter(
+                "repro_control_allocations_total",
+                {"dominant": str(fields["dominant"])},
+            ).inc()
+        elif kind == _trace.CONTROL_WINDOW:
+            time = event.time
+            usm = fields.get("usm")
+            if isinstance(usm, (int, float)):
+                reg.gauge("repro_usm").set(time, float(usm))
+            for key in ("c_flex", "update_load", "degraded_items", "ticket_threshold"):
+                value = fields.get(key)
+                if isinstance(value, (int, float)):
+                    reg.gauge(f"repro_{key}").set(time, float(value))
+            for key, value in fields.items():
+                if key in self._WINDOW_META:
+                    continue
+                if isinstance(value, (int, float)):
+                    reg.gauge(
+                        "repro_usm_component", {"component": key}
+                    ).set(time, float(value))
+
+    def snapshot(self) -> Dict[str, object]:
+        return self.registry.snapshot()

@@ -1,0 +1,385 @@
+"""Structured trace recording for simulation runs.
+
+Every instrumentation site in the server, the lock manager, and the
+UNIT control modules is guarded by a single attribute check::
+
+    rec = self.obs
+    if rec.enabled:
+        rec.query_outcome(...)
+
+so the disabled path (the default, via the shared
+:data:`NULL_RECORDER`) costs one attribute load and a false branch —
+nothing is allocated, formatted, or appended.  The enabled path builds
+one slotted :class:`TraceEvent` per occurrence and appends it to a
+bounded ring buffer; when the ring is full the *oldest* events are
+evicted and counted in :attr:`TraceRecorder.dropped`.
+
+All timestamps are **simulated** time (the caller passes
+``Simulator.now``); this module never reads the wall clock — simlint's
+SL002 patrols it like any other simulation component.
+
+Event kinds (the ``kind`` field of every event):
+
+=====================  ==============================================
+``query.admit``        query passed admission control
+``query.outcome``      terminal outcome (success / rejected / dmf /
+                       dsf) with latency, freshness, restart count
+``admission.decision`` the AC's full verdict (reason, EST, C_flex)
+``lock.wait``          a transaction blocked behind a lock
+``lock.preempt``       2PL-HP abort: victims named, requester named
+``update.apply``       an update transaction committed
+``update.drop``        a source arrival dropped by the policy
+``modulation.change``  an item's period degraded / upgraded
+``control.allocate``   one Adaptive Allocation decision (LBC)
+``control.window``     controller window snapshot: USM components
+                       S / R / F_m / F_s plus the knob values chosen
+=====================  ==============================================
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterator, List, Optional, Sequence, Tuple
+
+# Event-kind constants (shared with the exporters and the CLI).
+QUERY_ADMIT = "query.admit"
+QUERY_OUTCOME = "query.outcome"
+ADMISSION_DECISION = "admission.decision"
+LOCK_WAIT = "lock.wait"
+LOCK_PREEMPT = "lock.preempt"
+UPDATE_APPLY = "update.apply"
+UPDATE_DROP = "update.drop"
+MODULATION_CHANGE = "modulation.change"
+CONTROL_ALLOCATE = "control.allocate"
+CONTROL_WINDOW = "control.window"
+
+ALL_KINDS: Tuple[str, ...] = (
+    QUERY_ADMIT,
+    QUERY_OUTCOME,
+    ADMISSION_DECISION,
+    LOCK_WAIT,
+    LOCK_PREEMPT,
+    UPDATE_APPLY,
+    UPDATE_DROP,
+    MODULATION_CHANGE,
+    CONTROL_ALLOCATE,
+    CONTROL_WINDOW,
+)
+
+#: Default ring capacity: large enough for a full small-scale cell
+#: (~100k events), small enough to stay a bounded memory cost.
+DEFAULT_CAPACITY = 262_144
+
+
+class TraceEvent:
+    """One recorded occurrence, in sim time.
+
+    Slotted: a run can record hundreds of thousands of these, so the
+    per-event layout matters.  ``fields`` is a plain dict of
+    JSON-serializable values; the flattened form (:meth:`as_dict`) is
+    what the exporters consume.
+    """
+
+    __slots__ = ("time", "kind", "fields")
+
+    def __init__(self, time: float, kind: str, fields: Dict[str, object]) -> None:
+        self.time = time
+        self.kind = kind
+        self.fields = fields
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten to ``{"t": ..., "kind": ..., **fields}``."""
+        out: Dict[str, object] = {"t": self.time, "kind": self.kind}
+        out.update(self.fields)
+        return out
+
+    def __repr__(self) -> str:
+        return f"TraceEvent(t={self.time:.6f}, kind={self.kind!r}, {self.fields!r})"
+
+
+class Recorder:
+    """Interface shared by :class:`TraceRecorder` and :class:`NullRecorder`.
+
+    Instrumentation sites hold a ``Recorder`` and guard every typed
+    call with ``if rec.enabled:`` — the subclass never changes under a
+    running simulation, so the guard is branch-predictable.
+    """
+
+    __slots__ = ()
+
+    #: False on the null recorder; instrumentation guards on this.
+    enabled: bool = False
+
+    # -- generic hook ---------------------------------------------------
+
+    def emit(self, time: float, kind: str, fields: Dict[str, object]) -> None:
+        """Record one event (no-op on the null recorder)."""
+
+    # -- typed hooks (all forward to :meth:`emit`) ----------------------
+
+    def query_admit(
+        self, time: float, txn_id: int, deadline: float, n_items: int
+    ) -> None:
+        self.emit(
+            time, QUERY_ADMIT, {"txn": txn_id, "deadline": deadline, "items": n_items}
+        )
+
+    def query_outcome(
+        self,
+        time: float,
+        txn_id: int,
+        outcome: str,
+        arrival: float,
+        latency: float,
+        freshness: Optional[float],
+        restarts: int,
+    ) -> None:
+        self.emit(
+            time,
+            QUERY_OUTCOME,
+            {
+                "txn": txn_id,
+                "outcome": outcome,
+                "arrival": arrival,
+                "latency": latency,
+                "freshness": freshness,
+                "restarts": restarts,
+            },
+        )
+
+    def admission_decision(
+        self,
+        time: float,
+        txn_id: int,
+        admitted: bool,
+        reason: str,
+        est: float,
+        endangered: int,
+        c_flex: float,
+    ) -> None:
+        self.emit(
+            time,
+            ADMISSION_DECISION,
+            {
+                "txn": txn_id,
+                "admitted": admitted,
+                "reason": reason,
+                "est": est,
+                "endangered": endangered,
+                "c_flex": c_flex,
+            },
+        )
+
+    def lock_wait(
+        self,
+        time: float,
+        txn_id: int,
+        item_id: int,
+        is_update: bool,
+        holders: Sequence[int],
+    ) -> None:
+        self.emit(
+            time,
+            LOCK_WAIT,
+            {
+                "txn": txn_id,
+                "item": item_id,
+                "update": is_update,
+                "holders": list(holders),
+            },
+        )
+
+    def lock_preempt(
+        self,
+        time: float,
+        txn_id: int,
+        item_id: int,
+        is_update: bool,
+        victims: Sequence[int],
+    ) -> None:
+        self.emit(
+            time,
+            LOCK_PREEMPT,
+            {
+                "txn": txn_id,
+                "item": item_id,
+                "update": is_update,
+                "victims": list(victims),
+            },
+        )
+
+    def update_apply(
+        self, time: float, item_id: int, txn_id: int, on_demand: bool, period: float
+    ) -> None:
+        self.emit(
+            time,
+            UPDATE_APPLY,
+            {"item": item_id, "txn": txn_id, "on_demand": on_demand, "period": period},
+        )
+
+    def update_drop(self, time: float, item_id: int, period: float) -> None:
+        self.emit(time, UPDATE_DROP, {"item": item_id, "period": period})
+
+    def modulation_change(
+        self,
+        time: float,
+        item_id: int,
+        direction: str,
+        old_period: float,
+        new_period: float,
+    ) -> None:
+        self.emit(
+            time,
+            MODULATION_CHANGE,
+            {
+                "item": item_id,
+                "direction": direction,
+                "old_period": old_period,
+                "new_period": new_period,
+            },
+        )
+
+    def control_allocate(
+        self,
+        time: float,
+        costs: Dict[str, float],
+        dominant: str,
+        signals: Sequence[str],
+        usm: Optional[float],
+        samples: int,
+    ) -> None:
+        fields: Dict[str, object] = {
+            "dominant": dominant,
+            "signals": list(signals),
+            "usm": usm,
+            "samples": samples,
+        }
+        fields.update({f"cost_{key}": value for key, value in sorted(costs.items())})
+        self.emit(time, CONTROL_ALLOCATE, fields)
+
+    def control_window(
+        self,
+        time: float,
+        components: Dict[str, float],
+        usm: Optional[float],
+        samples: int,
+        signals: Sequence[str],
+        c_flex: float,
+        update_load: float,
+        degraded_items: int,
+        ticket_threshold: float,
+    ) -> None:
+        fields: Dict[str, object] = {
+            "usm": usm,
+            "samples": samples,
+            "signals": list(signals),
+            "c_flex": c_flex,
+            "update_load": update_load,
+            "degraded_items": degraded_items,
+            "ticket_threshold": ticket_threshold,
+        }
+        fields.update(
+            {key: value for key, value in sorted(components.items())}
+        )
+        self.emit(time, CONTROL_WINDOW, fields)
+
+
+class NullRecorder(Recorder):
+    """The disabled recorder: every hook is a no-op.
+
+    Instrumentation sites check :attr:`enabled` (a class attribute,
+    False here) before doing any work, so the per-event cost of the
+    disabled path is one attribute load and an untaken branch.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def __len__(self) -> int:
+        return 0
+
+    def events(self) -> Iterator[TraceEvent]:
+        return iter(())
+
+
+#: The shared disabled recorder — safe to share because it is stateless.
+NULL_RECORDER = NullRecorder()
+
+
+class TraceRecorder(Recorder):
+    """Bounded in-memory trace recorder.
+
+    Events land in a ring buffer of ``capacity`` slots: when full, the
+    oldest event is evicted and counted in :attr:`dropped` (the *tail*
+    of a run is usually the interesting part for debugging).  An
+    optional :class:`~repro.obs.metrics.RunMetrics` sink folds every
+    event into its registry as it is recorded, so metrics cover the
+    whole run even when the ring wraps.
+    """
+
+    __slots__ = ("_ring", "_capacity", "dropped", "counts", "metrics")
+
+    enabled = True
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        metrics: Optional["RunMetricsLike"] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._ring: Deque[TraceEvent] = deque()
+        self.dropped = 0
+        self.counts: Dict[str, int] = {}
+        self.metrics = metrics
+
+    def emit(self, time: float, kind: str, fields: Dict[str, object]) -> None:
+        event = TraceEvent(time, kind, fields)
+        ring = self._ring
+        if len(ring) >= self._capacity:
+            ring.popleft()
+            self.dropped += 1
+        ring.append(event)
+        counts = self.counts
+        counts[kind] = counts.get(kind, 0) + 1
+        if self.metrics is not None:
+            self.metrics.observe_event(event)
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def events(self) -> Iterator[TraceEvent]:
+        """The retained events, oldest first."""
+        return iter(self._ring)
+
+    def event_dicts(self) -> List[Dict[str, object]]:
+        """All retained events flattened (the exporters' input)."""
+        return [event.as_dict() for event in self._ring]
+
+    def summary(self) -> Dict[str, object]:
+        """Small, picklable digest for reports."""
+        return {
+            "events": len(self._ring),
+            "recorded": sum(self.counts.values()),
+            "dropped": self.dropped,
+            "by_kind": dict(sorted(self.counts.items())),
+        }
+
+
+class RunMetricsLike:
+    """Structural stand-in for :class:`repro.obs.metrics.RunMetrics`.
+
+    Kept here (rather than importing the metrics module) so the trace
+    layer has zero dependencies and the type reads in both directions.
+    """
+
+    __slots__ = ()
+
+    def observe_event(self, event: TraceEvent) -> None:  # pragma: no cover
+        raise NotImplementedError

@@ -92,6 +92,16 @@ class Simulator:
         """Number of events executed so far (cancelled events excluded)."""
         return self._fired
 
+    @property
+    def heap_size(self) -> int:
+        """Raw heap entry count, cancelled entries included.
+
+        Unlike :attr:`pending` this counts lazily-deleted events still
+        occupying heap slots — the quantity that drives push/pop cost,
+        which is what observability-of-the-engine cares about.
+        """
+        return len(self._heap)
+
     def _on_cancel(self) -> None:
         """Bookkeeping hook for :meth:`Timer.cancel` (lazy deletion)."""
         self._live -= 1

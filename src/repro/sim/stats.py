@@ -70,6 +70,18 @@ class OnlineStats:
         """Largest observation; -inf when empty."""
         return self._max
 
+    def as_dict(self) -> Dict[str, Optional[float]]:
+        """JSON-safe summary: min/max are None (→ ``null``) when empty,
+        never the ±inf sentinels the properties expose."""
+        empty = not self._count
+        return {
+            "count": float(self._count),
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "min": None if empty else self._min,
+            "max": None if empty else self._max,
+        }
+
 
 class TimeWeightedMean:
     """Mean of a piecewise-constant signal, weighted by holding time.

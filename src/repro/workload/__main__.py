@@ -16,6 +16,11 @@ import sys
 
 from repro.experiments.config import SCALES
 from repro.experiments.report import ascii_table
+from repro.obs.logging_setup import (
+    add_verbosity_flags,
+    configure_logging,
+    verbosity_from_args,
+)
 from repro.sim.rng import RandomStreams
 from repro.workload.cello import CelloConfig, generate_cello_trace
 from repro.workload.correlation import pearson
@@ -87,6 +92,7 @@ def _inspect(args) -> int:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.workload")
+    add_verbosity_flags(parser)
     sub = parser.add_subparsers(dest="command", required=True)
 
     gen = sub.add_parser("generate", help="build and save a trace bundle")
@@ -106,7 +112,9 @@ def main(argv=None) -> int:
     ins.set_defaults(func=_inspect)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    configure_logging(verbosity_from_args(args))
+    result: int = args.func(args)
+    return result
 
 
 if __name__ == "__main__":

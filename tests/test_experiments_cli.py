@@ -67,13 +67,22 @@ class TestSweep:
         # Paired workloads: identical query stream.
         assert imu.queries_submitted == odu.queries_submitted
 
-    def test_grid_progress_lines(self, capsys):
-        run_grid(
-            policies=("imu",),
-            traces=("low-unif",),
-            profiles=(PenaltyProfile.naive(),),
-            scale=SCALES["smoke"],
-            seed=5,
-            progress=True,
-        )
-        assert "[sweep]" in capsys.readouterr().out
+    def test_grid_progress_lines(self):
+        import io
+
+        from repro.obs.logging_setup import configure_logging
+
+        stream = io.StringIO()
+        configure_logging(verbosity=1, stream=stream)
+        try:
+            run_grid(
+                policies=("imu",),
+                traces=("low-unif",),
+                profiles=(PenaltyProfile.naive(),),
+                scale=SCALES["smoke"],
+                seed=5,
+                progress=True,
+            )
+        finally:
+            configure_logging(verbosity=0)  # restore stderr/WARNING default
+        assert "[sweep]" in stream.getvalue()

@@ -373,6 +373,57 @@ class TestSL006PublicAnnotations:
         assert violations(src, EXPERIMENTS, "SL006") == []
 
 
+class TestSL007BarePrint:
+    def test_print_in_library_code_triggers(self):
+        src = "def report(x):\n    print(x)\n"
+        found = violations(src, CORE, "SL007")
+        assert len(found) == 1
+        assert "logging_setup" in found[0].message
+
+    def test_print_outside_sim_components_triggers_too(self):
+        # SL007 patrols every component, not just the simulation path.
+        src = "print('progress')\n"
+        assert len(violations(src, EXPERIMENTS, "SL007")) == 1
+        assert len(violations(src, ANALYSIS, "SL007")) == 1
+
+    def test_builtins_print_triggers(self):
+        src = "import builtins\nbuiltins.print('hi')\n"
+        assert len(violations(src, DB, "SL007")) == 1
+
+    def test_main_module_is_exempt(self):
+        src = "print('the artifact itself')\n"
+        assert violations(src, "src/repro/experiments/__main__.py", "SL007") == []
+
+    def test_cli_module_is_exempt(self):
+        src = "print('usage: ...')\n"
+        assert violations(src, "src/repro/lint/cli.py", "SL007") == []
+
+    def test_logger_calls_are_clean(self):
+        src = (
+            "from repro.obs.logging_setup import get_logger\n"
+            "_log = get_logger(__name__)\n"
+            "def report(x):\n"
+            "    _log.info('%s', x)\n"
+        )
+        assert violations(src, CORE, "SL007") == []
+
+    def test_shadowed_print_is_clean(self):
+        src = (
+            "def print(*args):\n"
+            "    pass\n"
+            "print('not the builtin')\n"
+        )
+        assert violations(src, CORE, "SL007") == []
+
+    def test_docstring_mention_is_clean(self):
+        src = '"""Example::\n\n    print(report)\n"""\nx = 1\n'
+        assert violations(src, SIM, "SL007") == []
+
+    def test_suppression_comment_silences(self):
+        src = "print('x')  # simlint: disable=SL007 -- debugging aid\n"
+        assert violations(src, CORE, "SL007") == []
+
+
 class TestSuppression:
     def test_line_disable_silences_rule(self):
         src = "import time\nnow = time.time()  # simlint: disable=SL002\n"
@@ -427,7 +478,7 @@ class TestConfigAndRegistry:
         with pytest.raises(ValueError, match="SL999"):
             LintConfig.from_rule_ids(select=["SL999"])
 
-    def test_all_six_rules_registered(self):
+    def test_all_rules_registered(self):
         assert known_rule_ids() == [
             "SL001",
             "SL002",
@@ -435,6 +486,7 @@ class TestConfigAndRegistry:
             "SL004",
             "SL005",
             "SL006",
+            "SL007",
         ]
         for rule in all_rules():
             assert rule.summary

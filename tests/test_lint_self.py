@@ -92,6 +92,21 @@ class TestSeededViolation:
         engine.write_text(patched, encoding="utf-8")
         assert run_cli(str(seeded_tree)).returncode == 0
 
+    def test_seeded_bare_print_fails_sl007(self, tmp_path):
+        tree = tmp_path / "repro"
+        shutil.copytree(SRC_REPRO, tree)
+        stats = tree / "sim" / "stats.py"
+        stats.write_text(
+            stats.read_text(encoding="utf-8")
+            + "\n\ndef _leak_to_stdout(x: float) -> None:\n    print(x)\n",
+            encoding="utf-8",
+        )
+        result = run_cli(str(tree))
+        assert result.returncode == 1
+        assert "SL007" in result.stdout
+        assert "stats.py" in result.stdout
+        assert "logging_setup" in result.stdout
+
 
 class TestCliContract:
     def test_json_on_clean_tree(self):
@@ -105,7 +120,15 @@ class TestCliContract:
     def test_list_rules(self):
         result = run_cli("--list-rules")
         assert result.returncode == 0
-        for rule_id in ("SL001", "SL002", "SL003", "SL004", "SL005", "SL006"):
+        for rule_id in (
+            "SL001",
+            "SL002",
+            "SL003",
+            "SL004",
+            "SL005",
+            "SL006",
+            "SL007",
+        ):
             assert rule_id in result.stdout
 
     def test_missing_path_exits_2(self):

@@ -1,0 +1,87 @@
+"""``python -m repro.obs`` subcommands, driven in-process."""
+
+import json
+
+import pytest
+
+from repro.obs.cli import main
+from repro.obs.export import trace_digest, write_trace_jsonl
+from repro.obs.trace import TraceRecorder
+
+
+@pytest.fixture()
+def trace_file(tmp_path):
+    rec = TraceRecorder()
+    rec.query_admit(0.1, 1, 1.5, 2)
+    rec.query_outcome(0.4, 1, "success", 0.1, 0.3, 0.9, 0)
+    rec.control_window(1.0, {"S": 0.8}, 0.42, 20, ["LAC"], 1.25, 0.3, 2, -0.5)
+    rec.control_window(2.0, {"S": 0.7}, 0.35, 18, [], 1.0, 0.4, 3, -0.5)
+    path = tmp_path / "trace.jsonl"
+    write_trace_jsonl(rec, path)
+    return path
+
+
+class TestSummary:
+    def test_counts_and_span(self, trace_file, capsys):
+        assert main(["summary", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "4 events" in out
+        assert "query.admit" in out
+        assert "control.window" in out
+        assert "0.100s .. 2.000s" in out
+
+    def test_bad_json_exits(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"t": 1}\nnot json\n')
+        with pytest.raises(SystemExit):
+            main(["summary", str(bad)])
+
+
+class TestFilter:
+    def test_by_kind_to_stdout(self, trace_file, capsys):
+        assert main(["filter", str(trace_file), "--kind", "control.window"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["kind"] == "control.window" for line in lines)
+
+    def test_time_range_to_file(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "late.jsonl"
+        assert (
+            main(["filter", str(trace_file), "--since", "0.5", "--out", str(out)]) == 0
+        )
+        assert "wrote 2 of 4 events" in capsys.readouterr().out
+        events = [json.loads(line) for line in out.read_text().splitlines()]
+        assert all(e["t"] >= 0.5 for e in events)
+
+
+class TestConvert:
+    def test_chrome(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "chrome.json"
+        assert main(["chrome", str(trace_file), "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        phases = {e["ph"] for e in payload["traceEvents"]}
+        assert {"M", "X", "C"} <= phases
+
+    def test_controller(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "controller.csv"
+        assert main(["controller", str(trace_file), "--out", str(out)]) == 0
+        header, *rows = out.read_text().splitlines()
+        assert header.startswith("t,")
+        assert len(rows) == 2
+
+    def test_digest_matches_library(self, trace_file, capsys):
+        assert main(["digest", str(trace_file)]) == 0
+        printed = capsys.readouterr().out.split()[0]
+        events = [json.loads(line) for line in trace_file.read_text().splitlines()]
+        assert printed == trace_digest(events)
+
+
+class TestSmoke:
+    def test_smoke_exports_artifacts(self, tmp_path, capsys):
+        out_dir = tmp_path / "artifacts"
+        assert main(["smoke", "--scale", "smoke", "--out", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "events recorded" in out
+        suffixes = {p.name.rsplit(".", 2)[-2] + "." + p.suffix.lstrip(".")
+                    for p in out_dir.iterdir()}
+        assert {"trace.jsonl", "chrome.json", "controller.csv", "prom.txt"} <= suffixes
