@@ -99,7 +99,7 @@ class AdmissionController:
         preempt the whole query class)."""
         backlog = server.running_remaining()
         backlog += server.ready.update_backlog()
-        backlog += server.ready.query_backlog_before(query.deadline)
+        backlog += server.ready.query_backlog_ahead_of(query)
         return backlog * self._drain_stretch()
 
     def _drain_stretch(self) -> float:
@@ -114,21 +114,26 @@ class AdmissionController:
         """Admitted ready queries that would newly miss their deadline
         if ``query`` (which runs before them under EDF) is admitted.
 
-        A ready query ``r`` with a later deadline sees its start pushed
-        back by ``qe_i``; it is endangered when its slack was
-        non-negative but smaller than ``qe_i``.
+        A ready query ``r`` dispatched after the newcomer sees its start
+        pushed back by ``qe_i``; it is endangered when its slack was
+        non-negative but smaller than ``qe_i``.  "After" is the full
+        EDF tie-break order (``priority_key``), so an equal-deadline
+        ready query is classified exactly once: ahead of the newcomer
+        (in the base backlog) when its txn id is smaller, behind it
+        (endangered candidate) otherwise — never both, never neither.
         """
+        key = query.priority_key()
         ready = [
             other
             for other in server.ready.ready_queries()
-            if other.deadline > query.deadline
+            if other.priority_key() > key
         ]
         if not ready:
             return []
-        ready.sort(key=lambda txn: txn.deadline)
+        ready.sort(key=lambda txn: txn.priority_key())
 
         base = server.running_remaining() + server.ready.update_backlog()
-        base += server.ready.query_backlog_before(query.deadline)
+        base += server.ready.query_backlog_ahead_of(query)
 
         endangered: List[QueryTransaction] = []
         prefix = 0.0

@@ -218,6 +218,19 @@ class UnitPolicy(ServerPolicy):
             self._last_drop_allocation = server.now
             self._apply_signals(self.lbc.allocate(server.now))
 
+    def on_fault(self, label: str, active: bool, server: "Server") -> None:
+        """Snapshot the controller at a fault boundary (trace only).
+
+        Emission draws nothing from ``rng`` and mutates no control
+        state, so traced runs with and without observability follow the
+        same trajectory — the snapshot just pins the window decomposition
+        at the instant the fault opens/closes, which the degradation
+        analysis lines up against the ``fault.*`` markers.
+        """
+        rec = self.obs
+        if rec.enabled:
+            self._emit_window_snapshot(rec, [])
+
     def describe(self) -> str:
         return "UNIT"
 

@@ -50,9 +50,15 @@ class TimeFreshness(FreshnessMetric):
     """Time-based alternative: exponential decay in the age of the value.
 
     ``freshness = exp(-age / half_life * ln 2)`` where age is measured
-    since the last *applied* update, but only once at least one arrival
-    is pending (a value with no pending update is perfectly fresh no
-    matter how old — nothing newer exists).
+    from the earliest *pending* (dropped) arrival — the stored value was
+    perfectly fresh until a newer source value existed, so the decay
+    clock starts at that arrival, not at the last applied update.
+    Measuring from ``last_applied_time`` would make an item idle for a
+    long stretch jump from 1.0 to near-zero the instant its next update
+    arrives; anchoring at the pending arrival keeps freshness continuous
+    (1.0 at the arrival instant, decaying thereafter).  An item with no
+    pending update is perfectly fresh no matter how old — nothing newer
+    exists.
     """
 
     def __init__(self, half_life: float) -> None:
@@ -63,7 +69,10 @@ class TimeFreshness(FreshnessMetric):
     def item_freshness(self, item: DataItem, now: float) -> float:
         if item.udrop == 0:
             return 1.0
-        age = max(0.0, now - item.last_applied_time)
+        since = item.first_pending_time
+        if since is None:  # defensive: udrop > 0 implies a recorded drop
+            since = item.last_arrival_time
+        age = max(0.0, now - since)
         return math.exp(-age / self.half_life * math.log(2.0))
 
     def describe(self) -> str:

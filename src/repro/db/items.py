@@ -41,6 +41,7 @@ class DataItem:
     applied_seq: int = 0  # highest arrival reflected in the stored value
     pending_drops: int = 0  # dropped arrivals newer than the stored value
     last_drop_seq: int = 0  # seqno of the newest dropped arrival
+    first_pending_time: Optional[float] = None  # arrival time of oldest pending drop
     last_arrival_time: float = 0.0
     last_applied_time: float = 0.0
     last_execution_started: Optional[float] = None  # start of last applied refresh
@@ -84,10 +85,17 @@ class DataItem:
         return self.arrivals
 
     def record_drop(self) -> None:
-        """Count the most recent arrival as dropped (not applied)."""
+        """Count the most recent arrival as dropped (not applied).
+
+        The stored value was perfectly fresh until this arrival existed,
+        so the first drop since the lag was last cleared marks the start
+        of the staleness window (used by time-based freshness).
+        """
         self.updates_dropped += 1
         self.pending_drops += 1
         self.last_drop_seq = self.arrivals
+        if self.first_pending_time is None:
+            self.first_pending_time = self.last_arrival_time
 
     def apply_update(self, seqno: int, now: float) -> None:
         """Commit a refresh installing arrival ``seqno``.
@@ -102,6 +110,7 @@ class DataItem:
             self.last_applied_time = now
         if seqno >= self.last_drop_seq:
             self.pending_drops = 0
+            self.first_pending_time = None
         self.updates_executed += 1
 
     def record_query_access(self) -> None:

@@ -73,6 +73,17 @@ class ServerPolicy(abc.ABC):
     ) -> None:
         """Called when an update transaction commits."""
 
+    def on_fault(self, label: str, active: bool, server: "Server") -> None:
+        """Called by the fault driver at an injected fault's window
+        boundaries (``active`` is True at the start, False at the end).
+
+        The default is a no-op: policies are not told what the fault
+        *is* — they must react through their ordinary feedback signals.
+        The hook exists so a policy can snapshot its controller state at
+        the boundary (UNIT records a ``control.window`` trace event),
+        which anchors degradation analysis to the fault timeline.
+        """
+
     def describe(self) -> str:
         """Short policy name for reports."""
         return type(self).__name__

@@ -106,6 +106,24 @@ class ReadyQueue:
                 total += txn.remaining
         return total
 
+    def query_backlog_ahead_of(self, query: QueryTransaction) -> float:
+        """Total remaining work of queued queries dispatched before ``query``.
+
+        Unlike :meth:`query_backlog_before`, equal-deadline queries are
+        ordered by the full EDF tie-break (``priority_key``), so a
+        queued query sharing ``query``'s deadline but holding a smaller
+        txn id is correctly counted as ahead of it.  Iteration order
+        matches :meth:`query_backlog_before` (heap storage order), so
+        the float summation stays bit-stable.
+        """
+        live = self._live
+        key = query.priority_key()
+        total = 0.0
+        for _, txn_id, txn in self._query_heap:
+            if txn_id in live and txn.priority_key() < key:
+                total += txn.remaining
+        return total
+
     def compact(self) -> None:
         """Physically drop dead heap entries (occasionally, to bound memory)."""
         self._update_heap = [

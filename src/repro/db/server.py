@@ -120,6 +120,13 @@ class Server:
         self._busy_query = 0.0
         self._busy_update = 0.0
 
+        # Service-rate multiplier (fault injection: CPU contention).
+        # Work retired per simulated second; 1.0 is the unfaulted CPU.
+        # All arithmetic below multiplies/divides elapsed time by this
+        # rate — with the default 1.0 both operations are IEEE-exact, so
+        # runs without a slowdown stay byte-identical to pre-fault code.
+        self._service_rate = 1.0
+
         policy.bind(self)
 
     # ------------------------------------------------------------------
@@ -234,13 +241,49 @@ class Server:
     def running_transaction(self) -> Optional[Transaction]:
         return self._running
 
+    @property
+    def service_rate(self) -> float:
+        """Current service-rate multiplier (1.0 = unfaulted CPU)."""
+        return self._service_rate
+
+    def set_service_rate(self, rate: float) -> None:
+        """Change the CPU's service rate (fault injection).
+
+        The running transaction is re-timed: work retired so far at the
+        old rate is credited against its remaining demand and its
+        completion is rescheduled at the new rate.  Busy-time accounting
+        is CPU *occupancy* (sim seconds), so it is rate-independent.
+        """
+        if rate <= 0:
+            raise ValueError("service rate must be positive")
+        old_rate = self._service_rate
+        if rate == old_rate:
+            return
+        running = self._running
+        if running is not None:
+            started = running.run_started_at
+            elapsed = 0.0 if started is None else self.now - started
+            self._credit_busy(running, elapsed)
+            running.remaining = max(0.0, running.remaining - elapsed * old_rate)
+            running.run_started_at = self.now
+            if self._completion_timer is not None:
+                self._completion_timer.cancel()
+            self._service_rate = rate
+            self._completion_timer = self.sim.schedule_after(
+                running.remaining / rate,
+                functools.partial(self._complete, running),
+                priority=COMPLETION_EVENT_PRIORITY,
+            )
+        else:
+            self._service_rate = rate
+
     def running_remaining(self) -> float:
         """Remaining work of the transaction on the CPU, right now."""
         if self._running is None:
             return 0.0
         started = self._running.run_started_at
         elapsed = 0.0 if started is None else self.now - started
-        return max(0.0, self._running.remaining - elapsed)
+        return max(0.0, self._running.remaining - elapsed * self._service_rate)
 
     def busy_time(self) -> float:
         """Total CPU busy time so far (both classes, including the
@@ -395,7 +438,7 @@ class Server:
                 )
         self._running = txn
         self._completion_timer = self.sim.schedule_after(
-            txn.remaining,
+            txn.remaining / self._service_rate,
             functools.partial(self._complete, txn),
             priority=COMPLETION_EVENT_PRIORITY,
         )
@@ -409,7 +452,7 @@ class Server:
         started = txn.run_started_at
         elapsed = 0.0 if started is None else self.now - started
         self._credit_busy(txn, elapsed)
-        txn.remaining = max(0.0, txn.remaining - elapsed)
+        txn.remaining = max(0.0, txn.remaining - elapsed * self._service_rate)
         txn.run_started_at = None
         txn.state = TransactionState.READY
         self._running = None
@@ -542,7 +585,7 @@ class Server:
             started = txn.run_started_at
             elapsed = 0.0 if started is None else self.now - started
             self._credit_busy(txn, elapsed)
-            txn.remaining = max(0.0, txn.remaining - elapsed)
+            txn.remaining = max(0.0, txn.remaining - elapsed * self._service_rate)
             txn.run_started_at = None
             self._running = None
         elif txn in self.ready:

@@ -17,6 +17,7 @@ from repro.core.elastic import ElasticConfig
 from repro.core.qmf import QmfConfig
 from repro.core.unit import UnitConfig
 from repro.core.usm import PenaltyProfile
+from repro.faults.scenario import FaultScenario
 from repro.obs.config import ObsConfig
 from repro.workload.updates import STANDARD_UPDATE_TRACES
 
@@ -109,6 +110,13 @@ class ExperimentConfig:
     # shape the traces.
     obs: Optional[ObsConfig] = None
 
+    # Fault injection (None = no faults; runs are byte-identical to a
+    # config without the field).  Trace-shaping injectors fold into
+    # ``workload_key()`` via the scenario's fingerprint; a slowdown-only
+    # scenario leaves the key unchanged so paired runs share the cached
+    # workload.
+    faults: Optional[FaultScenario] = None
+
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
             raise ValueError(f"unknown policy {self.policy!r}; one of {POLICIES}")
@@ -184,6 +192,10 @@ class ExperimentConfig:
             self.deadline_high_base,
             self.update_exec_cv.hex(),
         )
+        if self.faults is not None:
+            fingerprint = self.faults.workload_fingerprint()
+            if fingerprint:
+                parts = parts + (fingerprint,)
         return hashlib.sha256("\x1f".join(parts).encode("utf-8")).hexdigest()
 
     def unit_config(self) -> UnitConfig:

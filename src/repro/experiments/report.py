@@ -99,6 +99,48 @@ def bar_chart(
     return "\n".join(out)
 
 
+def degradation_table(degradation: Dict[str, object]) -> str:
+    """Render one run's fault-degradation metrics as an ASCII table.
+
+    Takes the dict produced by
+    :func:`repro.faults.metrics.degradation_metrics` (also carried on
+    ``SimulationReport.degradation``): one row per fault window with
+    the pre-fault baseline, dip depth, time below band, and recovery
+    time ("-" when the series never re-entered the band).
+    """
+    windows = degradation.get("windows")
+    rows: List[List[object]] = []
+    if isinstance(windows, list):
+        for window in windows:
+            rows.append(
+                [
+                    window["label"],
+                    window["kind"],
+                    window["start"],
+                    window["end"],
+                    "-" if window["baseline_usm"] is None else window["baseline_usm"],
+                    "-" if window["dip_depth"] is None else window["dip_depth"],
+                    window["time_below"],
+                    "-" if window["recovery_time"] is None else window["recovery_time"],
+                ]
+            )
+    return ascii_table(
+        [
+            "window",
+            "kind",
+            "start",
+            "end",
+            "baseline",
+            "dip depth",
+            "below band (s)",
+            "recovery (s)",
+        ],
+        rows,
+        title=f"Degradation: scenario '{degradation.get('scenario', '?')}'"
+        f" (band ±{float(degradation.get('band', 0.0)):.4f})",  # type: ignore[arg-type]
+    )
+
+
 def decile_histogram(counts: Sequence[int], buckets: int = 10) -> List[int]:
     """Aggregate a per-item histogram into ``buckets`` contiguous id
     ranges (Fig. 3 is too wide to print item by item)."""

@@ -23,6 +23,8 @@ from repro.db.policy_api import ServerPolicy
 from repro.db.server import ARRIVAL_EVENT_PRIORITY, Server, ServerConfig
 from repro.db.transactions import Outcome, QueryRecord, QueryTransaction
 from repro.experiments.config import ExperimentConfig
+from repro.faults.driver import FaultDriver
+from repro.faults.metrics import degradation_metrics
 from repro.obs.config import ObsConfig
 from repro.obs.export import (
     write_chrome_trace,
@@ -36,6 +38,7 @@ from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
 from repro.workload.cache import get_workload
 from repro.workload.cello import CelloConfig, generate_cello_trace
+from repro.workload.perturb import perturb_query_trace, perturb_update_trace
 from repro.workload.queries import QueryTrace, build_query_trace
 from repro.workload.updates import (
     STANDARD_UPDATE_TRACES,
@@ -66,6 +69,11 @@ class SimulationReport:
     wall_seconds: float
     events_fired: int
     records: Optional[List[QueryRecord]] = None
+    # Degradation metrics (None unless a fault scenario was configured
+    # AND ``keep_records`` was set — the metrics need per-query finish
+    # times).  Reporting-only: excluded from the byte-identity contract
+    # the same way the obs fields below are.
+    degradation: Optional[Dict[str, object]] = None
     # Observability (all None when ``config.obs`` is unset/disabled —
     # the byte-identity contract of tests/test_determinism_regression
     # deliberately excludes every field below plus wall timings).
@@ -159,6 +167,14 @@ def build_workload(config: ExperimentConfig, streams: RandomStreams):
         mean_exec=scale.mean_update_exec,
         exec_cv=config.update_exec_cv,
     )
+    # Fault scenarios perturb *after* base generation: the update trace
+    # is correlated against the unperturbed access histogram, and the
+    # fault-* substreams are disjoint from every stream drawn above, so
+    # an unconfigured run is byte-identical to pre-fault builds.
+    faults = config.faults
+    if faults is not None and faults.shapes_workload():
+        query_trace = perturb_query_trace(query_trace, faults, streams)
+        update_trace = perturb_update_trace(update_trace, faults, streams)
     return query_trace, update_trace
 
 
@@ -326,6 +342,8 @@ def run_experiment(config: ExperimentConfig) -> SimulationReport:
         for query_spec in query_trace.queries
     ]
     _feed_arrivals(sim, server, query_txns, list(update_trace.arrival_events()))
+    if config.faults is not None and not config.faults.is_empty:
+        FaultDriver(config.faults, server, recorder).install(sim)
     phase_seconds["setup"] = time.perf_counter() - setup_started
 
     simulate_started = time.perf_counter()
@@ -354,6 +372,16 @@ def run_experiment(config: ExperimentConfig) -> SimulationReport:
             obs_events = recorder.event_dicts()
         obs_artifacts = _export_artifacts(recorder, config.obs, config)
 
+    degradation: Optional[Dict[str, object]] = None
+    if (
+        config.faults is not None
+        and not config.faults.is_empty
+        and config.keep_records
+    ):
+        degradation = degradation_metrics(
+            server.records, config.profile, config.faults, config.scale.horizon
+        )
+
     accumulator = UsmAccumulator.from_counts(config.profile, server.outcome_counts)
     totals = items.totals()
     phase_seconds["finalize"] = time.perf_counter() - finalize_started
@@ -376,6 +404,7 @@ def run_experiment(config: ExperimentConfig) -> SimulationReport:
         wall_seconds=time.perf_counter() - started,
         events_fired=sim.events_fired,
         records=list(server.records) if config.keep_records else None,
+        degradation=degradation,
         phase_seconds=phase_seconds,
         obs_summary=obs_summary,
         obs_metrics=obs_metrics,

@@ -16,6 +16,13 @@ Workload generation is shared through :mod:`repro.workload.cache`: the
 parent warms its in-memory cache before dispatch (fork-start children
 inherit it for free) and each worker's initializer points the on-disk
 tier at the same directory when one is configured.
+
+Fault scenarios sweep transparently: pass a ``base`` config carrying
+``faults`` and every grid cell inherits the scenario via
+``dataclasses.replace``.  Trace-shaping scenarios fold into
+``workload_key()``, so the cache warm-up covers the perturbed traces
+too, and parallel results stay byte-identical to serial ones (see
+tests/test_faults_integration.py).
 """
 
 from __future__ import annotations

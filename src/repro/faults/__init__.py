@@ -1,0 +1,37 @@
+"""Deterministic fault injection & graceful-degradation harness.
+
+Public surface:
+
+* :mod:`repro.faults.scenario` — the declarative :class:`FaultScenario`
+  schema (re-exported here);
+* :mod:`repro.faults.scenarios` — canned scenarios for the standard
+  suite;
+* :mod:`repro.faults.driver` — runtime injection on a live server;
+* :mod:`repro.faults.metrics` — USM degradation metrics (dip depth,
+  time below band, recovery time);
+* :mod:`repro.faults.suite` / ``python -m repro.faults`` — the
+  UNIT-vs-baselines recovery comparison.
+
+Only the scenario types are imported eagerly: the experiments layer
+imports this package for the ``ExperimentConfig.faults`` field, so the
+heavier modules (driver, suite, CLI) must be pulled in explicitly to
+keep the import graph acyclic.
+"""
+
+from repro.faults.scenario import (
+    FaultScenario,
+    FaultWindow,
+    FlashCrowd,
+    HotspotShift,
+    ServerSlowdown,
+    UpdateStorm,
+)
+
+__all__ = [
+    "FaultScenario",
+    "FaultWindow",
+    "FlashCrowd",
+    "HotspotShift",
+    "ServerSlowdown",
+    "UpdateStorm",
+]

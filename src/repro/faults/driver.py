@@ -1,0 +1,103 @@
+"""Runtime side of fault injection.
+
+The :class:`FaultDriver` schedules one simulator event per fault-window
+boundary (at ``CONTROL_EVENT_PRIORITY``, so same-instant completions
+and arrivals resolve first) and, when a window opens or closes:
+
+* applies / reverts **server slowdowns** by composing the service-rate
+  multipliers of every active slowdown window onto the server;
+* emits ``fault.start`` / ``fault.end`` trace events so exported traces
+  carry the fault timeline alongside the controller's reaction;
+* calls :meth:`repro.db.policy_api.ServerPolicy.on_fault`, giving the
+  policy a chance to snapshot its controller state at the boundary
+  (UNIT emits a ``control.window`` snapshot).
+
+Workload-shaping faults (flash crowds, storms, hotspot shifts) are
+already baked into the traces by :mod:`repro.workload.perturb`; for
+those the driver only emits the markers and the policy hook.  The
+driver itself draws no randomness, so installing it perturbs nothing —
+with an empty scenario it schedules no events at all.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import List, Optional
+
+from repro.db.server import CONTROL_EVENT_PRIORITY, Server
+from repro.faults.scenario import FaultScenario, FaultWindow
+from repro.obs.trace import NULL_RECORDER, Recorder
+from repro.sim.engine import Simulator
+
+
+class FaultDriver:
+    """Schedules and applies one scenario's faults on a live server."""
+
+    def __init__(
+        self,
+        scenario: FaultScenario,
+        server: Server,
+        recorder: Optional[Recorder] = None,
+    ) -> None:
+        self.scenario = scenario
+        self.server = server
+        self.obs: Recorder = recorder if recorder is not None else NULL_RECORDER
+        self.windows: List[FaultWindow] = scenario.timeline()
+        self._active_rates: List[float] = []  # rates of open slowdown windows
+        self.events_scheduled = 0
+        self.starts_fired = 0
+        self.ends_fired = 0
+
+    def install(self, sim: Simulator) -> int:
+        """Schedule every window boundary; returns the event count."""
+        for window in self.windows:
+            sim.schedule(
+                window.start,
+                functools.partial(self._begin, window),
+                priority=CONTROL_EVENT_PRIORITY,
+            )
+            self.events_scheduled += 1
+            if window.end > window.start:
+                sim.schedule(
+                    window.end,
+                    functools.partial(self._end, window),
+                    priority=CONTROL_EVENT_PRIORITY,
+                )
+                self.events_scheduled += 1
+        return self.events_scheduled
+
+    # ------------------------------------------------------------------
+    # window boundaries
+    # ------------------------------------------------------------------
+
+    def _composed_rate(self) -> float:
+        rate = 1.0
+        for active in self._active_rates:
+            rate *= active
+        return rate
+
+    def _begin(self, window: FaultWindow) -> None:
+        server = self.server
+        self.starts_fired += 1
+        if window.kind == "server-slowdown":
+            self._active_rates.append(window.params_dict()["rate"])
+            server.set_service_rate(self._composed_rate())
+        obs = self.obs
+        if obs.enabled:
+            obs.fault_start(server.now, window.label, window.kind, window.params_dict())
+        server.policy.on_fault(window.label, True, server)
+        if window.end == window.start:
+            # Instantaneous fault (hotspot shift): close it in the same
+            # call so start/end markers always pair up in the trace.
+            self._end(window)
+
+    def _end(self, window: FaultWindow) -> None:
+        server = self.server
+        self.ends_fired += 1
+        if window.kind == "server-slowdown":
+            self._active_rates.remove(window.params_dict()["rate"])
+            server.set_service_rate(self._composed_rate())
+        obs = self.obs
+        if obs.enabled:
+            obs.fault_end(server.now, window.label, window.kind)
+        server.policy.on_fault(window.label, False, server)

@@ -1,0 +1,121 @@
+"""Canned fault scenarios for the standard degradation suite.
+
+Each builder is parameterized by the run's ``(horizon, n_items)`` so
+the same named scenario scales from the ``smoke`` preset to the paper
+scale: faults start after a third of the run (enough pre-fault buckets
+for a stable baseline), last a sixth of it, and end with at least half
+the horizon left to observe recovery.
+
+The registry is deliberately small — one scenario per injector plus a
+combined "pile-up" — so the suite output stays readable; ad-hoc
+scenarios are just :class:`~repro.faults.scenario.FaultScenario`
+literals.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.faults.scenario import (
+    FaultScenario,
+    FlashCrowd,
+    HotspotShift,
+    ServerSlowdown,
+    UpdateStorm,
+)
+
+
+def _window(horizon: float) -> tuple:
+    """Default fault window: starts at h/3, lasts h/6."""
+    start = horizon / 3.0
+    return start, start + horizon / 6.0
+
+
+def flash_crowd(horizon: float, n_items: int) -> FaultScenario:
+    """3x arrival-rate surge (the paper's flash-crowd motivation)."""
+    start, end = _window(horizon)
+    return FaultScenario(
+        name="flash-crowd",
+        flash_crowds=[FlashCrowd(start=start, end=end, multiplier=3.0)],
+    )
+
+
+def update_storm(horizon: float, n_items: int) -> FaultScenario:
+    """Global update periods shrink 4x — a write burst from the source."""
+    start, end = _window(horizon)
+    return FaultScenario(
+        name="update-storm",
+        update_storms=[UpdateStorm(start=start, end=end, period_factor=0.25)],
+    )
+
+
+def outage(horizon: float, n_items: int) -> FaultScenario:
+    """Update feed silence — data ages with no refreshes at all."""
+    start, end = _window(horizon)
+    return FaultScenario(
+        name="update-outage",
+        update_storms=[UpdateStorm(start=start, end=end, period_factor=0.0)],
+    )
+
+
+def hotspot_shift(horizon: float, n_items: int) -> FaultScenario:
+    """Query popularity rotates by a quarter of the item space mid-run,
+    invalidating any learned hot set."""
+    return FaultScenario(
+        name="hotspot-shift",
+        hotspot_shifts=[HotspotShift(at=horizon / 2.0, rotation=max(1, n_items // 4))],
+    )
+
+
+def slowdown(horizon: float, n_items: int) -> FaultScenario:
+    """Server runs at half speed — co-located load or a degraded disk."""
+    start, end = _window(horizon)
+    return FaultScenario(
+        name="server-slowdown",
+        slowdowns=[ServerSlowdown(start=start, end=end, rate=0.5)],
+    )
+
+
+def pile_up(horizon: float, n_items: int) -> FaultScenario:
+    """Everything at once, staggered: a flash crowd arrives, an update
+    storm lands on top of it, the server slows down, and the hot set
+    moves — the worst afternoon a web database can have."""
+    start, end = _window(horizon)
+    width = end - start
+    return FaultScenario(
+        name="pile-up",
+        flash_crowds=[FlashCrowd(start=start, end=end, multiplier=3.0)],
+        update_storms=[
+            UpdateStorm(
+                start=start + width / 2.0,
+                end=end + width / 2.0,
+                period_factor=0.25,
+            )
+        ],
+        slowdowns=[
+            ServerSlowdown(
+                start=start + width / 4.0,
+                end=end + width / 4.0,
+                rate=0.5,
+            )
+        ],
+        hotspot_shifts=[HotspotShift(at=end, rotation=max(1, n_items // 4))],
+    )
+
+
+#: Named scenario builders: ``CANNED[name](horizon, n_items)``.
+CANNED: Dict[str, Callable[[float, int], FaultScenario]] = {
+    "flash-crowd": flash_crowd,
+    "update-storm": update_storm,
+    "update-outage": outage,
+    "hotspot-shift": hotspot_shift,
+    "server-slowdown": slowdown,
+    "pile-up": pile_up,
+}
+
+
+def canned(name: str, horizon: float, n_items: int) -> FaultScenario:
+    """Build the named canned scenario for a run of this size."""
+    if name not in CANNED:
+        raise ValueError(f"unknown scenario {name!r}; one of {sorted(CANNED)}")
+    return CANNED[name](horizon, n_items)

@@ -58,6 +58,8 @@ _LANE_BY_KIND = {
     _trace.MODULATION_CHANGE: _TID_CONTROLLER,
     _trace.CONTROL_ALLOCATE: _TID_CONTROLLER,
     _trace.CONTROL_WINDOW: _TID_CONTROLLER,
+    _trace.FAULT_START: _TID_CONTROLLER,
+    _trace.FAULT_END: _TID_CONTROLLER,
 }
 
 

@@ -308,6 +308,10 @@ class RunMetrics:
                 "repro_control_allocations_total",
                 {"dominant": str(fields["dominant"])},
             ).inc()
+        elif kind == _trace.FAULT_START:
+            reg.counter(
+                "repro_fault_windows_total", {"fault": str(fields["fault"])}
+            ).inc()
         elif kind == _trace.CONTROL_WINDOW:
             time = event.time
             usm = fields.get("usm")

@@ -33,6 +33,9 @@ Event kinds (the ``kind`` field of every event):
 ``control.allocate``   one Adaptive Allocation decision (LBC)
 ``control.window``     controller window snapshot: USM components
                        S / R / F_m / F_s plus the knob values chosen
+``fault.start``        an injected fault window opened (label, fault
+                       type, parameters)
+``fault.end``          an injected fault window closed
 =====================  ==============================================
 """
 
@@ -52,6 +55,8 @@ UPDATE_DROP = "update.drop"
 MODULATION_CHANGE = "modulation.change"
 CONTROL_ALLOCATE = "control.allocate"
 CONTROL_WINDOW = "control.window"
+FAULT_START = "fault.start"
+FAULT_END = "fault.end"
 
 ALL_KINDS: Tuple[str, ...] = (
     QUERY_ADMIT,
@@ -64,6 +69,8 @@ ALL_KINDS: Tuple[str, ...] = (
     MODULATION_CHANGE,
     CONTROL_ALLOCATE,
     CONTROL_WINDOW,
+    FAULT_START,
+    FAULT_END,
 )
 
 #: Default ring capacity: large enough for a full small-scale cell
@@ -282,6 +289,20 @@ class Recorder:
             {key: value for key, value in sorted(components.items())}
         )
         self.emit(time, CONTROL_WINDOW, fields)
+
+    def fault_start(
+        self,
+        time: float,
+        label: str,
+        fault: str,
+        params: Dict[str, float],
+    ) -> None:
+        fields: Dict[str, object] = {"label": label, "fault": fault}
+        fields.update(sorted(params.items()))
+        self.emit(time, FAULT_START, fields)
+
+    def fault_end(self, time: float, label: str, fault: str) -> None:
+        self.emit(time, FAULT_END, {"label": label, "fault": fault})
 
 
 class NullRecorder(Recorder):

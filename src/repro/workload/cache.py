@@ -58,8 +58,8 @@ _DISK_FORMAT = "v1"
 
 def disk_dir_from_env() -> Optional[Path]:
     """The on-disk store directory selected by the environment, if any."""
-    raw = os.environ.get(CACHE_DIR_ENV, "")
-    if raw.strip().lower() in _DISABLED_VALUES:
+    raw = os.environ.get(CACHE_DIR_ENV, "").strip()
+    if raw.lower() in _DISABLED_VALUES:
         return None
     return Path(raw)
 
@@ -106,8 +106,16 @@ class WorkloadCache:
         return len(self._entries)
 
     def clear(self) -> None:
-        """Drop every in-memory entry (the disk tier is untouched)."""
+        """Drop every in-memory entry and reset the hit/miss counters.
+
+        The disk tier is untouched.  Counters restart so that
+        statistics gathered after a ``clear()`` describe only the new
+        population, not the evicted one.
+        """
         self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
 
     def _resolve_disk_dir(self) -> Optional[Path]:
         if self.disk_dir is not None:

@@ -100,6 +100,54 @@ class TestDeadlineCheck:
         assert decision.est == pytest.approx(0.8)  # 0.4 * 2.0 cap
 
 
+class TestEqualDeadlineTies:
+    """Equal-deadline ready queries are classified by the full EDF
+    tie-break (``priority_key``): each is either ahead of the newcomer
+    (in the EST backlog) or behind it (an endangered candidate) —
+    never both, never neither."""
+
+    def test_tied_query_ahead_counts_in_est(self):
+        _, server = make_server()
+        ac = AdmissionController(PenaltyProfile.naive(), c_flex=1.0)
+        queue_query(server, 1, deadline=5.0, exec_time=0.3)  # id 1 < 99
+        decision = ac.decide(incoming(deadline=5.0, exec_time=0.1), server)
+        assert decision.est == pytest.approx(0.3)
+
+    def test_tied_query_ahead_is_not_endangered(self):
+        _, server = make_server()
+        ac = AdmissionController(PenaltyProfile.naive())
+        tied = queue_query(server, 1, deadline=5.0, exec_time=0.3)
+        assert ac.endangered_queries(incoming(deadline=5.0), server) == []
+        assert tied.state is TransactionState.READY
+
+    def test_tied_query_behind_is_an_endangered_candidate(self):
+        _, server = make_server()
+        ac = AdmissionController(PenaltyProfile.naive())
+        # id 100 > 99: behind the newcomer under EDF, and with only
+        # 0.05s of slack the newcomer's 0.1s execution endangers it.
+        queue_query(server, 100, deadline=0.35, exec_time=0.3)
+        endangered = ac.endangered_queries(
+            incoming(deadline=0.35, exec_time=0.1), server
+        )
+        assert [txn.txn_id for txn in endangered] == [100]
+
+    def test_ties_partition_exactly_once(self):
+        """Regression: with every deadline equal, the ready set must
+        split cleanly around the newcomer — ids below it in the EST,
+        ids above it in the endangered scan, nothing lost."""
+        _, server = make_server()
+        ac = AdmissionController(PenaltyProfile.naive(), c_flex=1.0)
+        for txn_id in (1, 2, 100, 101):
+            queue_query(server, txn_id, deadline=1.0, exec_time=0.2)
+        newcomer = incoming(deadline=1.0, exec_time=0.5)
+        # Ahead: ids 1 and 2 (0.4s of backlog).
+        assert ac.earliest_start(newcomer, server) == pytest.approx(0.4)
+        # Behind: ids 100 and 101, both endangered by a 0.5s insertion
+        # (slacks 0.4 and 0.2).
+        endangered = ac.endangered_queries(newcomer, server)
+        assert [txn.txn_id for txn in endangered] == [100, 101]
+
+
 class TestControlSignals:
     def test_tighten_and_loosen_move_ten_percent(self):
         ac = AdmissionController(PenaltyProfile.naive(), c_flex=1.0)

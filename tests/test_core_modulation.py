@@ -88,6 +88,44 @@ class TestDegrade:
         assert items[1].is_degraded  # above the floor: eventually reached
         assert not items[2].is_degraded  # below the floor: protected forever
 
+    def test_relax_never_overshoots_zero(self):
+        """Round-trip audit: however the threshold got down, raising it
+        clamps at exactly 0.0 — a relax step larger than the remaining
+        distance must not push tau positive (a positive tau would
+        *exclude* every item from the lottery, inverting escalation)."""
+        _, tickets, modulator = make_modulator(escalate=True)
+        tickets.on_update(0, update_exec_time=1.0)
+        for _ in range(3):
+            tickets.on_query_access(1, cpu_utilization=0.6)  # ticket -1.8
+        # Drive tau down to an awkward value no multiple of the step
+        # lands on, then relax past it.
+        tickets.lower_threshold(2.5 * modulator.threshold_step)
+        assert tickets.threshold < 0.0
+        seen = []
+        for _ in range(5):
+            modulator.relax_threshold()
+            seen.append(tickets.threshold)
+        assert all(value <= 0.0 for value in seen)
+        assert seen[-1] == 0.0
+        # And relaxing at exactly zero stays put (guard, not a cycle).
+        modulator.relax_threshold()
+        assert tickets.threshold == 0.0
+
+    def test_threshold_round_trip_restores_lottery(self):
+        """Escalate then fully relax: the lottery must price items
+        exactly as before the excursion (threshold back to 0 shifts
+        every weight back by the same amount it shifted down)."""
+        _, tickets, modulator = make_modulator(escalate=True)
+        tickets.on_update(0, update_exec_time=1.0)
+        tickets.on_query_access(1, cpu_utilization=0.4)
+        before = modulator.victim_distribution()
+        tickets.lower_threshold(modulator.threshold_step)
+        assert modulator.victim_distribution() != before  # excursion is real
+        while tickets.threshold < 0.0:
+            modulator.relax_threshold()
+        assert tickets.threshold == 0.0
+        assert modulator.victim_distribution() == before
+
     def test_relax_threshold_walks_back_to_zero(self):
         items, tickets, modulator = make_modulator(escalate=True, max_stretch=1.2)
         tickets.on_update(0, update_exec_time=1.0)

@@ -48,11 +48,51 @@ class TestTimeFreshness:
         assert metric.item_freshness(item, 1e9) == 1.0
 
     def test_decays_with_age_once_stale(self):
+        """Age is measured from the earliest *pending* arrival."""
         metric = TimeFreshness(half_life=10.0)
-        item = item_with_drops(1)
-        item.last_applied_time = 0.0
+        item = DataItem(item_id=0, ideal_period=10.0, update_exec_time=0.1)
+        item.record_arrival(0.0)
+        item.record_drop()
         assert metric.item_freshness(item, 10.0) == pytest.approx(0.5)
         assert metric.item_freshness(item, 20.0) == pytest.approx(0.25)
+
+    def test_continuous_at_the_dropped_arrival(self):
+        """Regression: a long-idle item must not cliff-drop the instant
+        its next update is dropped.  The decay clock starts at the
+        pending arrival (freshness 1.0 there), not at the last applied
+        update (which would make age jump to the whole idle stretch)."""
+        metric = TimeFreshness(half_life=10.0)
+        item = DataItem(item_id=0, ideal_period=10.0, update_exec_time=0.1)
+        seq = item.record_arrival(0.0)
+        item.apply_update(seq, 0.0)  # applied immediately; then idle for ages
+        idle_until = 1e6
+        assert metric.item_freshness(item, idle_until) == 1.0
+        item.record_arrival(idle_until)
+        item.record_drop()
+        # Continuous at the arrival instant...
+        assert metric.item_freshness(item, idle_until) == pytest.approx(1.0)
+        # ...and decaying from it, not from last_applied_time=0.
+        assert metric.item_freshness(item, idle_until + 10.0) == pytest.approx(0.5)
+
+    def test_second_drop_keeps_the_earliest_anchor(self):
+        metric = TimeFreshness(half_life=10.0)
+        item = DataItem(item_id=0, ideal_period=10.0, update_exec_time=0.1)
+        item.record_arrival(0.0)
+        item.record_drop()
+        item.record_arrival(5.0)
+        item.record_drop()
+        # Staleness dates from the *first* unapplied arrival at t=0.
+        assert metric.item_freshness(item, 10.0) == pytest.approx(0.5)
+
+    def test_apply_clears_the_anchor(self):
+        metric = TimeFreshness(half_life=10.0)
+        item = DataItem(item_id=0, ideal_period=10.0, update_exec_time=0.1)
+        item.record_arrival(0.0)
+        item.record_drop()
+        seq = item.record_arrival(50.0)
+        item.apply_update(seq, 50.0)  # catches up: pending drops absorbed
+        assert item.first_pending_time is None
+        assert metric.item_freshness(item, 100.0) == 1.0
 
     def test_invalid_half_life(self):
         with pytest.raises(ValueError):

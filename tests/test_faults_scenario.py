@@ -1,0 +1,148 @@
+"""Tests for the declarative fault-scenario schema."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.config import SCALES, ExperimentConfig
+from repro.faults import (
+    FaultScenario,
+    FlashCrowd,
+    HotspotShift,
+    ServerSlowdown,
+    UpdateStorm,
+)
+from repro.faults.scenarios import CANNED, canned
+
+
+def combined():
+    return FaultScenario(
+        name="combined",
+        flash_crowds=[FlashCrowd(start=30.0, end=50.0, multiplier=3.0)],
+        update_storms=[UpdateStorm(start=40.0, end=60.0, period_factor=0.25)],
+        hotspot_shifts=[HotspotShift(at=60.0, rotation=13)],
+        slowdowns=[ServerSlowdown(start=45.0, end=70.0, rate=0.5)],
+    )
+
+
+class TestValidation:
+    def test_windows_must_be_nonempty(self):
+        with pytest.raises(ValueError):
+            FlashCrowd(start=10.0, end=10.0, multiplier=2.0)
+        with pytest.raises(ValueError):
+            UpdateStorm(start=5.0, end=4.0, period_factor=0.5)
+        with pytest.raises(ValueError):
+            ServerSlowdown(start=1.0, end=0.5, rate=0.5)
+
+    def test_parameter_ranges(self):
+        with pytest.raises(ValueError):
+            FlashCrowd(start=0.0, end=1.0, multiplier=-1.0)
+        with pytest.raises(ValueError):
+            UpdateStorm(start=0.0, end=1.0, period_factor=-0.1)
+        with pytest.raises(ValueError):
+            ServerSlowdown(start=0.0, end=1.0, rate=0.0)
+        with pytest.raises(ValueError):
+            HotspotShift(at=1.0, rotation=0)
+        with pytest.raises(ValueError):
+            FaultScenario(name="")
+
+    def test_outage_is_a_zero_factor_storm(self):
+        assert UpdateStorm(start=0.0, end=1.0, period_factor=0.0).is_outage
+        assert not UpdateStorm(start=0.0, end=1.0, period_factor=0.5).is_outage
+
+
+class TestCanonicalization:
+    def test_int_and_float_construction_are_identical(self):
+        a = FlashCrowd(start=30, end=50, multiplier=3)
+        b = FlashCrowd(start=30.0, end=50.0, multiplier=3.0)
+        assert a == b
+        assert hash(a) == hash(b)
+        sa = FaultScenario(name="s", flash_crowds=[a])
+        sb = FaultScenario(name="s", flash_crowds=(b,))
+        assert sa == sb
+        assert sa.workload_fingerprint() == sb.workload_fingerprint()
+
+    def test_scenario_is_hashable_with_list_inputs(self):
+        scenario = FaultScenario(
+            name="s", slowdowns=[ServerSlowdown(start=0.0, end=1.0, rate=0.5)]
+        )
+        assert isinstance(scenario.slowdowns, tuple)
+        hash(scenario)  # must not raise
+
+
+class TestFingerprint:
+    def test_empty_and_slowdown_only_have_no_fingerprint(self):
+        assert FaultScenario(name="none").workload_fingerprint() == ""
+        slow = FaultScenario(
+            name="slow", slowdowns=[ServerSlowdown(start=1.0, end=2.0, rate=0.5)]
+        )
+        assert slow.workload_fingerprint() == ""
+        assert not slow.shapes_workload()
+        assert not slow.is_empty
+
+    def test_trace_shaping_injectors_fingerprint(self):
+        scenario = combined()
+        assert scenario.shapes_workload()
+        fingerprint = scenario.workload_fingerprint()
+        assert fingerprint
+        # The slowdown is deliberately excluded: removing it must not
+        # move the fingerprint.
+        no_slow = dataclasses.replace(scenario, slowdowns=())
+        assert no_slow.workload_fingerprint() == fingerprint
+        # But any trace-shaping parameter moves it.
+        moved = dataclasses.replace(
+            scenario, flash_crowds=(FlashCrowd(start=30.0, end=50.0, multiplier=4.0),)
+        )
+        assert moved.workload_fingerprint() != fingerprint
+
+    def test_workload_key_integration(self):
+        base = ExperimentConfig(scale=SCALES["smoke"])
+        faulted = ExperimentConfig(scale=SCALES["smoke"], faults=combined())
+        slow_only = ExperimentConfig(
+            scale=SCALES["smoke"],
+            faults=FaultScenario(
+                name="slow",
+                slowdowns=[ServerSlowdown(start=1.0, end=2.0, rate=0.5)],
+            ),
+        )
+        assert faulted.workload_key() != base.workload_key()
+        # Slowdowns do not shape traces: same cache entry as the base.
+        assert slow_only.workload_key() == base.workload_key()
+
+
+class TestTimeline:
+    def test_ordered_labeled_windows(self):
+        windows = combined().timeline()
+        assert [w.label for w in windows] == [
+            "flash-crowd-0",
+            "update-storm-0",
+            "server-slowdown-0",
+            "hotspot-shift-0",
+        ]
+        assert [w.start for w in windows] == [30.0, 40.0, 45.0, 60.0]
+        shift = windows[-1]
+        assert shift.start == shift.end  # instantaneous
+        assert shift.params_dict() == {"at": 60.0, "rotation": 13.0}
+
+    def test_outage_windows_are_labeled_as_outages(self):
+        scenario = FaultScenario(
+            name="s",
+            update_storms=[UpdateStorm(start=0.0, end=1.0, period_factor=0.0)],
+        )
+        assert scenario.timeline()[0].kind == "update-outage"
+
+
+class TestCanned:
+    def test_registry_builds_for_every_scale(self):
+        for name in CANNED:
+            for preset in SCALES.values():
+                scenario = canned(name, preset.horizon, preset.n_items)
+                assert scenario.name == name
+                assert not scenario.is_empty
+                for window in scenario.timeline():
+                    assert 0.0 <= window.start <= preset.horizon
+                    assert window.end <= preset.horizon
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            canned("nope", 100.0, 64)

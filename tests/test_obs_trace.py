@@ -41,6 +41,8 @@ class TestNullRecorder:
         rec.query_outcome(1.0, 1, "success", 0.5, 0.5, 1.0, 0)
         rec.lock_wait(1.0, 1, 2, False, [3])
         rec.control_window(1.0, {"S": 1.0}, 0.5, 10, ["LAC"], 1.0, 0.2, 0, 0.0)
+        rec.fault_start(2.0, "flash-crowd-0", "flash-crowd", {"multiplier": 3.0})
+        rec.fault_end(3.0, "flash-crowd-0", "flash-crowd")
         assert len(rec) == 0
 
 
@@ -60,12 +62,14 @@ class TestTraceRecorder:
         rec.modulation_change(0.6, 5, "degrade", 2.0, 2.2)
         rec.control_allocate(1.0, {"R": 0.1}, "R", ["LAC"], 0.4, 20)
         rec.control_window(1.0, {"S": 0.8}, 0.4, 20, ["LAC"], 1.1, 0.3, 2, -0.5)
+        rec.fault_start(2.0, "server-slowdown-0", "server-slowdown", {"rate": 0.5})
+        rec.fault_end(3.0, "server-slowdown-0", "server-slowdown")
         assert sorted(rec.counts) == sorted(ALL_KINDS)
         assert len(rec) == len(ALL_KINDS)
         # Events are retained in emit order.
         kinds = [event.kind for event in rec.events()]
         assert kinds[0] == "query.admit"
-        assert kinds[-1] == "control.window"
+        assert kinds[-1] == "fault.end"
 
     def test_ring_evicts_oldest_and_counts_drops(self):
         rec = TraceRecorder(capacity=3)

@@ -85,11 +85,45 @@ class TestCacheBehavior:
         fresh.get(_config())
         assert (fresh.disk_hits, fresh.misses) == (0, 1)
 
+    def test_truncated_disk_entry_regenerates(self, tmp_path, monkeypatch):
+        """A pickle cut off mid-stream (partial write, full disk) must
+        be treated as a miss, not crash the run."""
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        WorkloadCache().get(_config())
+        for path in tmp_path.iterdir():
+            data = path.read_bytes()
+            path.write_bytes(data[: len(data) // 2])
+        fresh = WorkloadCache()
+        query_trace, update_trace = fresh.get(_config())
+        assert (fresh.disk_hits, fresh.misses) == (0, 1)
+        assert query_trace.queries and update_trace.items
+
     def test_disabled_env_values_mean_memory_only(self, tmp_path, monkeypatch):
         monkeypatch.setenv(CACHE_DIR_ENV, "off")
         cache = WorkloadCache()
         cache.get(_config())
         assert cache._disk_path("x") is None
+
+    def test_env_value_whitespace_is_stripped(self, tmp_path, monkeypatch):
+        """A padded path (trailing newline from `export FOO=$(...)`) must
+        resolve to the same directory, and padded disable tokens must
+        still disable."""
+        monkeypatch.setenv(CACHE_DIR_ENV, f"  {tmp_path}\n")
+        writer = WorkloadCache()
+        writer.get(_config())
+        assert any(tmp_path.iterdir())  # spilled into the *unpadded* dir
+        monkeypatch.setenv(CACHE_DIR_ENV, " off \n")
+        assert WorkloadCache()._disk_path("x") is None
+
+    def test_clear_resets_counters(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        cache = WorkloadCache()
+        cache.get(_config())
+        cache.get(_config())
+        assert (cache.hits, cache.misses) == (1, 1)
+        cache.clear()
+        assert (cache.hits, cache.misses, cache.disk_hits) == (0, 0, 0)
+        assert len(cache) == 0
 
 
 class TestCachedRunsAreByteIdentical:
