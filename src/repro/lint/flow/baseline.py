@@ -1,0 +1,138 @@
+"""Ratchet baseline for flow findings.
+
+A baseline file records the findings a tree is *known* to carry, so CI
+can enforce "no new findings" while the backlog is burned down.  Each
+entry is a fingerprint of ``(rule, repro-relative path, message)`` —
+deliberately line-number-free, so unrelated edits above a finding do
+not churn the file — plus a count, so N identical findings in one file
+are ratcheted exactly.
+
+Workflow::
+
+    python -m repro.lint --flow src/repro --write-baseline   # accept today
+    python -m repro.lint --flow src/repro                    # fails on NEW findings
+    # fix a finding, re-run --write-baseline: the file shrinks (ratchet)
+
+Stale entries (baselined findings that no longer occur) are reported so
+the baseline only ever shrinks on purpose, never rots.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.lint.base import Violation
+
+#: Conventional baseline location, repo-root relative.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+def normalize_path(path: str) -> str:
+    """A stable, invocation-independent form of a violation path.
+
+    Keeps everything from the last ``repro`` path segment on
+    (``/abs/src/repro/db/server.py`` → ``repro/db/server.py``), so the
+    same finding fingerprints identically from any working directory.
+    """
+    posix = Path(path).as_posix()
+    parts = posix.split("/")
+    if "repro" in parts:
+        idx = len(parts) - 1 - parts[::-1].index("repro")
+        return "/".join(parts[idx:])
+    return posix
+
+
+def fingerprint(violation: Violation) -> str:
+    """Stable identity of one finding (line numbers excluded)."""
+    payload = f"{violation.rule_id}|{normalize_path(violation.path)}|{violation.message}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclasses.dataclass
+class BaselineResult:
+    """Outcome of filtering findings through a baseline."""
+
+    new: List[Violation]
+    suppressed: List[Violation]
+    stale: List[Dict[str, object]]  # baseline entries no longer observed
+
+
+class Baseline:
+    """A loaded (or empty) ratchet baseline."""
+
+    def __init__(self, counts: Dict[str, int], entries: List[Dict[str, object]]) -> None:
+        self.counts = counts
+        self.entries = entries
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(counts={}, entries=[])
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or data.get("version") != _FORMAT_VERSION:
+            raise ValueError(f"{path}: unsupported baseline format")
+        entries = data.get("entries", [])
+        counts: Dict[str, int] = {}
+        for entry in entries:
+            fp = str(entry["fingerprint"])
+            counts[fp] = counts.get(fp, 0) + int(entry.get("count", 1))
+        return cls(counts=counts, entries=list(entries))
+
+    @classmethod
+    def from_violations(cls, violations: List[Violation]) -> "Baseline":
+        grouped: Dict[str, Tuple[Violation, int]] = {}
+        for violation in violations:
+            fp = fingerprint(violation)
+            if fp in grouped:
+                grouped[fp] = (grouped[fp][0], grouped[fp][1] + 1)
+            else:
+                grouped[fp] = (violation, 1)
+        entries = [
+            {
+                "fingerprint": fp,
+                "rule": v.rule_id,
+                "path": normalize_path(v.path),
+                "message": v.message,
+                "count": count,
+            }
+            for fp, (v, count) in sorted(grouped.items(), key=lambda kv: (
+                kv[1][0].rule_id, normalize_path(kv[1][0].path), kv[0]
+            ))
+        ]
+        counts = {fp: count for fp, (_v, count) in grouped.items()}
+        return cls(counts=counts, entries=entries)
+
+    def write(self, path: Path) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "tool": "simflow",
+            "entries": self.entries,
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    def filter(self, violations: List[Violation]) -> BaselineResult:
+        """Split findings into new-vs-baselined; report stale entries."""
+        remaining = dict(self.counts)
+        new: List[Violation] = []
+        suppressed: List[Violation] = []
+        for violation in violations:
+            fp = fingerprint(violation)
+            if remaining.get(fp, 0) > 0:
+                remaining[fp] -= 1
+                suppressed.append(violation)
+            else:
+                new.append(violation)
+        stale = [
+            {**entry, "unmatched": remaining[str(entry["fingerprint"])]}
+            for entry in self.entries
+            if remaining.get(str(entry["fingerprint"]), 0) > 0
+        ]
+        return BaselineResult(new=new, suppressed=suppressed, stale=stale)

@@ -1,0 +1,9 @@
+"""Built-in simflow rules (SF001-SF004).
+
+Importing this package registers every flow rule with the registry in
+:mod:`repro.lint.flow.base`, mirroring the per-file rules package.
+"""
+
+from repro.lint.flow.rules import capture, clock, escape, streams
+
+__all__ = ["capture", "clock", "escape", "streams"]

@@ -1,0 +1,237 @@
+"""SF002: clock-domain taint — wall time never reaches sim time.
+
+SL002 bans wall-clock *reads* inside simulation components, but a value
+read legally in ``experiments/`` (``time.perf_counter()`` for report
+timing) can still flow back into the simulation: passed into a ``core``
+policy, stored on a ``sim`` object, scheduled as an event time, or
+booked into a report field that the byte-identity contract covers.
+This rule taints every wall-clock read (and every read-back of the
+declared wall-metadata report fields) and follows the value through
+assignments, arithmetic, containers, and resolved calls — flagging any
+flow into the simulation domain.
+
+Declared wall-metadata sinks: the ``wall_seconds`` / ``phase_seconds``
+keywords of ``*Report`` constructors.  Those two fields are the *only*
+sanctioned resting place for wall-clock values.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, Optional, Set, Tuple
+
+from repro.lint.base import Violation
+from repro.lint.flow.base import FlowAnalysis, FlowRule, register_flow
+from repro.lint.flow.symbols import FunctionInfo
+from repro.lint.flow.taint import TaintEngine
+from repro.lint.rules.determinism import (
+    _DT_CLASSES,
+    _WALL_CLOCK_DT_ATTRS,
+    _WALL_CLOCK_TIME_ATTRS,
+    _from_imports,
+    _module_aliases,
+)
+
+#: Components whose state is simulation state: a wall value reaching a
+#: call or attribute here breaks the pure-function-of-the-seed promise.
+SIM_DOMAIN: FrozenSet[str] = frozenset({"sim", "db", "core", "workload", "obs"})
+
+#: Report-constructor keywords sanctioned to carry wall-clock values.
+WALL_METADATA_FIELDS: FrozenSet[str] = frozenset({"wall_seconds", "phase_seconds"})
+
+#: Attribute reads that re-introduce wall taint (reading metadata back).
+_WALL_METADATA_ATTRS: FrozenSet[str] = WALL_METADATA_FIELDS
+
+_LABEL = "wall-clock"
+
+
+class _SourceDetector:
+    """Per-module wall-clock source detection (same shapes as SL002)."""
+
+    def __init__(self, analysis: FlowAnalysis) -> None:
+        self.analysis = analysis
+        self._cache: Dict[str, Tuple[Set[str], Set[str], Dict[str, str], Dict[str, str]]] = {}
+
+    def _tables(self, module: str) -> Tuple[Set[str], Set[str], Dict[str, str], Dict[str, str]]:
+        cached = self._cache.get(module)
+        if cached is not None:
+            return cached
+        tree = self.analysis.symbols.modules[module].module.ctx.tree
+        time_aliases = _module_aliases(tree, "time")
+        dt_aliases = _module_aliases(tree, "datetime")
+        time_from = {
+            name: original for name, (_node, original) in _from_imports(tree, "time").items()
+        }
+        dt_from = {
+            name: original
+            for name, (_node, original) in _from_imports(tree, "datetime").items()
+        }
+        result = (time_aliases, dt_aliases, time_from, dt_from)
+        self._cache[module] = result
+        return result
+
+    def __call__(self, expr: ast.expr, func: FunctionInfo) -> Optional[str]:
+        if isinstance(expr, ast.Attribute):
+            # Reading declared wall metadata back off a report object.
+            if isinstance(expr.ctx, ast.Load) and expr.attr in _WALL_METADATA_ATTRS:
+                return _LABEL
+            return None
+        if not isinstance(expr, ast.Call):
+            return None
+        f = expr.func
+        time_aliases, dt_aliases, time_from, dt_from = self._tables(func.module)
+        if isinstance(f, ast.Name):
+            original = time_from.get(f.id)
+            if original in _WALL_CLOCK_TIME_ATTRS:
+                return _LABEL
+            return None
+        if not isinstance(f, ast.Attribute):
+            return None
+        base = f.value
+        if isinstance(base, ast.Name):
+            if base.id in time_aliases and f.attr in _WALL_CLOCK_TIME_ATTRS:
+                return _LABEL
+            if dt_from.get(base.id) in _DT_CLASSES and f.attr in _WALL_CLOCK_DT_ATTRS:
+                return _LABEL
+        elif (
+            isinstance(base, ast.Attribute)
+            and isinstance(base.value, ast.Name)
+            and base.value.id in dt_aliases
+            and base.attr in _DT_CLASSES
+            and f.attr in _WALL_CLOCK_DT_ATTRS
+        ):
+            return _LABEL
+        return None
+
+
+@register_flow
+class ClockDomainRule(FlowRule):
+    """SF002: wall-clock values never cross into the simulation domain."""
+
+    rule_id = "SF002"
+    summary = "wall-clock taint never reaches sim-time state or report fields"
+
+    def check(self, analysis: FlowAnalysis) -> Iterator[Violation]:
+        detector = _SourceDetector(analysis)
+        engine = TaintEngine(
+            analysis.program, analysis.symbols, analysis.callgraph, detector
+        )
+        for func in analysis.callgraph.functions_in_postorder():
+            env = engine.env_of(func.qualname)
+            type_env = analysis.symbols.local_types(func)
+            mod = analysis.symbols.modules[func.module].module
+            for node in ast.walk(func.node):
+                if isinstance(node, ast.Call):
+                    yield from self._check_call(
+                        analysis, engine, func, mod, node, env, type_env
+                    )
+                elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                    yield from self._check_attr_store(
+                        analysis, engine, func, mod, node, env, type_env
+                    )
+
+    # -- sinks ----------------------------------------------------------
+
+    def _tainted(self, engine: TaintEngine, func: FunctionInfo, expr: ast.expr, env) -> bool:
+        return _LABEL in engine._expr_labels(func, expr, env)
+
+    def _check_call(
+        self,
+        analysis: FlowAnalysis,
+        engine: TaintEngine,
+        func: FunctionInfo,
+        mod,
+        node: ast.Call,
+        env,
+        type_env,
+    ) -> Iterator[Violation]:
+        target = analysis.symbols.resolve_call_target(func.module, node.func, type_env)
+        if target is None:
+            return
+        kind, qualname = target
+        component: Optional[str]
+        class_name: Optional[str] = None
+        if kind == "class":
+            cls = analysis.symbols.classes.get(qualname)
+            component = cls.component if cls is not None else None
+            class_name = cls.name if cls is not None else qualname.rsplit(".", 1)[-1]
+        else:
+            info = analysis.symbols.functions.get(qualname)
+            component = info.component if info is not None else None
+            if info is not None and info.class_name is not None:
+                class_name = info.class_name
+        is_report_ctor = (
+            kind == "class" and class_name is not None and class_name.endswith("Report")
+        )
+        for arg in node.args:
+            if self._tainted(engine, func, arg, env):
+                if is_report_ctor:
+                    yield self.violation(
+                        mod,
+                        arg,
+                        "wall-clock value flows into a positional report field; "
+                        "only the declared wall-metadata keywords "
+                        f"({', '.join(sorted(WALL_METADATA_FIELDS))}) may carry it",
+                    )
+                elif component in SIM_DOMAIN:
+                    yield self.violation(
+                        mod,
+                        arg,
+                        f"wall-clock value flows into {qualname} "
+                        f"({component} component); sim-time state must be a pure "
+                        "function of the seed — derive times from Simulator.now "
+                        "or config instead",
+                    )
+        for kw in node.keywords:
+            if kw.value is None or not self._tainted(engine, func, kw.value, env):
+                continue
+            if is_report_ctor:
+                if kw.arg in WALL_METADATA_FIELDS:
+                    continue
+                yield self.violation(
+                    mod,
+                    kw.value,
+                    f"wall-clock value flows into report field {kw.arg!r}; only "
+                    f"the declared wall-metadata fields "
+                    f"({', '.join(sorted(WALL_METADATA_FIELDS))}) may carry it — "
+                    "they are excluded from the byte-identity contract",
+                )
+            elif component in SIM_DOMAIN:
+                yield self.violation(
+                    mod,
+                    kw.value,
+                    f"wall-clock value flows into {qualname} argument "
+                    f"{kw.arg!r} ({component} component); sim-time state must "
+                    "be a pure function of the seed",
+                )
+
+    def _check_attr_store(
+        self,
+        analysis: FlowAnalysis,
+        engine: TaintEngine,
+        func: FunctionInfo,
+        mod,
+        node,
+        env,
+        type_env,
+    ) -> Iterator[Violation]:
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        value = node.value
+        if value is None or not self._tainted(engine, func, value, env):
+            return
+        for target in targets:
+            if not isinstance(target, ast.Attribute):
+                continue
+            owner_type = analysis.symbols._value_type(func.module, target.value, type_env)
+            if owner_type is None:
+                continue
+            cls = analysis.symbols.classes.get(owner_type)
+            if cls is None or cls.component not in SIM_DOMAIN:
+                continue
+            yield self.violation(
+                mod,
+                target,
+                f"wall-clock value stored on {cls.name}.{target.attr} "
+                f"({cls.component} component); sim objects must hold only "
+                "seed-derived state",
+            )

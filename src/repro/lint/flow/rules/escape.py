@@ -1,0 +1,153 @@
+"""SF004: engine-owned references do not escape and get mutated.
+
+SL005 catches ``event.time = ...`` by *receiver name*; this rule tracks
+actual :class:`repro.sim.events.Event` (and ``db.locks.LockTable``)
+references through annotations and constructor provenance, so a heap
+record that leaks out of the engine under an innocent name
+(``entry = timer._event; entry.time = 5``) is still caught.  Two
+findings:
+
+* **foreign construction** — ``Event(...)`` built outside the ``sim``
+  component: events must be minted by ``Simulator.schedule`` so they
+  carry a valid ``seq`` and live in the heap;
+* **foreign mutation** — any attribute written on an Event-typed or
+  LockTable-typed value outside its owning component's engine modules;
+  ``Timer.cancel()`` is the sanctioned cancellation path and lock-table
+  state changes only through the lock manager's own methods.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Iterator, List, Tuple
+
+from repro.lint.base import Violation
+from repro.lint.flow.base import FlowAnalysis, FlowRule, register_flow
+
+#: (class name, owning component, modules allowed to mutate instances).
+_OWNED_TYPES: Tuple[Tuple[str, str, FrozenSet[str]], ...] = (
+    ("Event", "sim", frozenset({"sim.engine", "sim.events"})),
+    ("LockTable", "db", frozenset({"db.locks"})),
+)
+
+
+@register_flow
+class EngineEscapeRule(FlowRule):
+    """SF004: Event/LockTable references stay engine-owned."""
+
+    rule_id = "SF004"
+    summary = "Event/LockTable references do not escape their engine and mutate"
+
+    def check(self, analysis: FlowAnalysis) -> Iterator[Violation]:
+        owned = self._owned_classes(analysis)
+        if not owned:
+            return
+        for func in analysis.callgraph.functions_in_postorder():
+            mod = analysis.symbols.modules[func.module].module
+            env = analysis.symbols.local_types(func)
+            yield from self._check_construction(analysis, func, mod, owned)
+            yield from self._check_mutation(analysis, func, mod, env, owned)
+
+    # -- identification -------------------------------------------------
+
+    def _owned_classes(
+        self, analysis: FlowAnalysis
+    ) -> Dict[str, Tuple[str, str, FrozenSet[str]]]:
+        """class qualname → (name, owning component, mutator modules)."""
+        owned: Dict[str, Tuple[str, str, FrozenSet[str]]] = {}
+        for qualname, cls in analysis.symbols.classes.items():
+            for name, component, mutators in _OWNED_TYPES:
+                if cls.name == name and cls.component == component:
+                    owned[qualname] = (name, component, mutators)
+        return owned
+
+    def _module_is_exempt(self, module: str, mutators: FrozenSet[str]) -> bool:
+        return any(module.endswith(suffix) for suffix in mutators)
+
+    # -- foreign construction ------------------------------------------
+
+    def _check_construction(
+        self,
+        analysis: FlowAnalysis,
+        func,
+        mod,
+        owned: Dict[str, Tuple[str, str, FrozenSet[str]]],
+    ) -> Iterator[Violation]:
+        env = analysis.symbols.local_types(func)
+        for node in ast.walk(func.node):
+            if not isinstance(node, ast.Call):
+                continue
+            target = analysis.symbols.resolve_call_target(func.module, node.func, env)
+            if target is None or target[0] != "class":
+                continue
+            info = owned.get(target[1])
+            if info is None:
+                continue
+            name, component, _mutators = info
+            if name != "Event" or mod.component == component:
+                continue
+            yield self.violation(
+                mod,
+                node,
+                f"direct {name}(...) construction outside the {component} "
+                "engine; events must be minted by Simulator.schedule so they "
+                "carry a valid heap sequence number",
+            )
+
+    # -- foreign mutation ----------------------------------------------
+
+    def _check_mutation(
+        self,
+        analysis: FlowAnalysis,
+        func,
+        mod,
+        env: Dict[str, str],
+        owned: Dict[str, Tuple[str, str, FrozenSet[str]]],
+    ) -> Iterator[Violation]:
+        for node in ast.walk(func.node):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            else:
+                continue
+            for target in targets:
+                yield from self._flag_target(analysis, func, mod, env, owned, target)
+
+    def _flag_target(
+        self,
+        analysis: FlowAnalysis,
+        func,
+        mod,
+        env: Dict[str, str],
+        owned: Dict[str, Tuple[str, str, FrozenSet[str]]],
+        target: ast.expr,
+    ) -> Iterator[Violation]:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                yield from self._flag_target(analysis, func, mod, env, owned, elt)
+            return
+        if not isinstance(target, ast.Attribute):
+            return
+        receiver_type = analysis.symbols._value_type(func.module, target.value, env)
+        if receiver_type is None:
+            return
+        info = owned.get(receiver_type)
+        if info is None:
+            return
+        name, _component, mutators = info
+        if self._module_is_exempt(func.module, mutators):
+            return
+        remedy = (
+            "cancel through Timer.cancel() or schedule a fresh event"
+            if name == "Event"
+            else "go through the lock manager's own methods"
+        )
+        yield self.violation(
+            mod,
+            target,
+            f"assignment to {name}.{target.attr} outside the engine modules "
+            f"(receiver tracked as {receiver_type}); {name} state is "
+            f"engine-owned — {remedy}",
+        )

@@ -75,6 +75,58 @@ def _parse_suppressions(source: str) -> Tuple[Dict[int, Set[str]], Set[str]]:
     return line_disables, file_disables
 
 
+#: What a plausible-but-unknown rule id looks like.  Tokens with
+#: internal whitespace are prose riding the suppression grammar in a
+#: docstring or comment (the examples in this very file), not typos.
+_ID_SHAPE_RE = re.compile(r"[A-Z][A-Z0-9_]{1,15}")
+
+
+def suppression_warnings(
+    source: str, display_path: str, known_ids: Set[str]
+) -> List[str]:
+    """Warnings for suppression comments naming unknown rule ids.
+
+    A typo'd id (``disable=SL09``) silently suppresses nothing, which
+    reads as "finding fixed" in review; surface it instead.  ``known_ids``
+    is passed in so this stays layer-agnostic — callers union the SL and
+    SF catalogs.
+    """
+    line_disables, file_disables = _parse_suppressions(source)
+
+    def unknown(rules: Set[str]) -> List[str]:
+        return sorted(
+            r
+            for r in rules - known_ids - {_ALL}
+            if _ID_SHAPE_RE.fullmatch(r)
+        )
+
+    warnings: List[str] = []
+    for rule_id in unknown(file_disables):
+        warnings.append(
+            f"{display_path}:1: suppression names unknown rule {rule_id!r}"
+        )
+    for lineno in sorted(line_disables):
+        for rule_id in unknown(line_disables[lineno]):
+            warnings.append(
+                f"{display_path}:{lineno}: suppression names unknown rule {rule_id!r}"
+            )
+    return warnings
+
+
+def suppression_warnings_for_paths(
+    paths: Iterable[Path], known_ids: Set[str]
+) -> List[str]:
+    """Unknown-rule suppression warnings for every file under ``paths``."""
+    warnings: List[str] = []
+    for file_path in discover_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        warnings.extend(suppression_warnings(source, str(file_path), known_ids))
+    return warnings
+
+
 def classify_component(path: Path) -> Optional[str]:
     """Which top-level subpackage ``path`` belongs to, if any.
 

@@ -214,4 +214,4 @@ def default_cache() -> WorkloadCache:
 
 def get_workload(config: "ExperimentConfig") -> Workload:
     """Cached :func:`repro.experiments.runner.build_workload`."""
-    return _DEFAULT.get(config)
+    return _DEFAULT.get(config)  # simlint: disable=SF003 -- per-process memoization keyed by content hash; values are regenerated deterministically from the config, so per-process copies are byte-identical (test_workload_cache cross-process test)

@@ -461,6 +461,97 @@ class TestSuppression:
         )
         assert len(violations(src, SIM, "SL002")) == 1
 
+    def test_sf_ids_parse_in_the_shared_grammar(self):
+        """Flow-rule ids ride the same suppression comments; naming one
+        must neither crash the per-file layer nor silence its rules."""
+        src = (
+            "import time\n"
+            "now = time.time()  # simlint: disable=SF002 -- flow-layer id only\n"
+        )
+        assert len(violations(src, SIM, "SL002")) == 1
+
+    def test_mixed_sl_and_sf_ids_on_one_line(self):
+        src = (
+            "import time\n"
+            "now = time.time()  # simlint: disable=SL002,SF002 -- both layers\n"
+        )
+        assert violations(src, SIM, "SL002") == []
+
+
+class TestSuppressionWarnings:
+    def test_unknown_rule_id_is_reported(self):
+        from repro.lint.walker import suppression_warnings
+
+        warnings = suppression_warnings(
+            "import time\nnow = time.time()  # simlint: disable=SL099\n",
+            "mod.py",
+            known_ids={"SL002", "SF002"},
+        )
+        assert warnings == ["mod.py:2: suppression names unknown rule 'SL099'"]
+
+    def test_known_ids_from_either_layer_do_not_warn(self):
+        from repro.lint.walker import suppression_warnings
+
+        warnings = suppression_warnings(
+            "a = 1  # simlint: disable=SL002,SF002\n",
+            "mod.py",
+            known_ids={"SL002", "SF002"},
+        )
+        assert warnings == []
+
+    def test_file_level_unknown_id_is_reported_at_line_one(self):
+        from repro.lint.walker import suppression_warnings
+
+        warnings = suppression_warnings(
+            "# simlint: disable-file=XX123\na = 1\n",
+            "mod.py",
+            known_ids={"SL002"},
+        )
+        assert warnings == ["mod.py:1: suppression names unknown rule 'XX123'"]
+
+    def test_prose_in_docstring_examples_does_not_warn(self):
+        """The grammar examples in walker.py's own docstring parse as
+        suppressions with prose trailing the id; prose is not a typo."""
+        from repro.lint.walker import suppression_warnings
+
+        src = '"""\n# simlint: disable=SL001            silence SL001 on this line\n"""\n'
+        assert suppression_warnings(src, "m.py", {"SL002"}) == []
+
+    def test_bare_disable_never_warns(self):
+        from repro.lint.walker import suppression_warnings
+
+        assert (
+            suppression_warnings("a = 1  # simlint: disable\n", "m.py", {"SL002"})
+            == []
+        )
+
+
+class TestSarifExport:
+    def test_per_file_violations_render_as_sarif(self):
+        import json
+
+        from repro.lint.sarif import to_sarif
+
+        found = violations("import time\nnow = time.time()\n", SIM, "SL002")
+        sarif = to_sarif(found, [("SL002", "no wall-clock reads")], "simlint")
+        text = json.dumps(sarif)  # must be JSON-serializable end to end
+        assert json.loads(text)["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        assert run["tool"]["driver"]["name"] == "simlint"
+        assert [r["id"] for r in run["tool"]["driver"]["rules"]] == ["SL002"]
+        (result,) = run["results"]
+        assert result["ruleId"] == "SL002"
+        assert result["level"] == "error"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 2
+        assert region["startColumn"] >= 1
+
+    def test_empty_run_is_valid(self):
+        from repro.lint.sarif import to_sarif
+
+        sarif = to_sarif([], [("SL001", "x")], "simlint")
+        assert sarif["runs"][0]["results"] == []
+
 
 class TestConfigAndRegistry:
     def test_select_restricts_rules(self):

@@ -126,6 +126,24 @@ class TestCacheBehavior:
         assert len(cache) == 0
 
 
+class TestCrossProcessEquivalence:
+    def test_fresh_caches_generate_identical_workloads(self, monkeypatch):
+        """The contract behind the SF003 suppression on ``get_workload``:
+        each sweep-pool worker holds its *own* module-global cache, so
+        sharing is only sound because generation is a pure function of
+        the config.  Two caches standing in for two worker processes
+        must produce identical traces."""
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        query_a, update_a = WorkloadCache().get(_config())
+        query_b, update_b = WorkloadCache().get(_config())
+        assert [q.arrival for q in query_a.queries] == [
+            q.arrival for q in query_b.queries
+        ]
+        assert [item.period for item in update_a.items] == [
+            item.period for item in update_b.items
+        ]
+
+
 class TestCachedRunsAreByteIdentical:
     def test_warm_cache_changes_nothing(self, monkeypatch):
         """The regression gate for the whole scheme: a report computed
