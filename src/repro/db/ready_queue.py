@@ -4,9 +4,12 @@ Paper Section 3.1: "The dispatching discipline adopted in our system is
 a dual-priority queue: updates have higher priorities than queries,
 whereas within each group, EDF (Earliest Deadline First) is applied."
 
-Implementation: two binary heaps keyed by ``(deadline, txn_id)`` with
-lazy deletion (a live-set membership check on pop), so removal on abort
-is O(1) and pop is amortized O(log n).
+Implementation: two binary heaps keyed by ``(deadline, txn_id)``.
+Removal is physical (O(n) rebuild on out-of-order removal): preempted
+and restarted transactions re-enter the queue under the same txn id,
+so a stale lazily-deleted entry would be revived by the live-set
+filter and double-count that transaction's remaining work in the
+backlog aggregates the admission controller reads.
 """
 
 from __future__ import annotations
@@ -45,8 +48,23 @@ class ReadyQueue:
             heapq.heappush(self._query_heap, entry)
 
     def remove(self, txn: Transaction) -> None:
-        """Lazily remove a transaction (e.g. on deadline abort)."""
+        """Remove a transaction (e.g. on deadline abort); absent is a no-op.
+
+        Removal is physical: a lazily-deleted entry would survive in the
+        heap and, once the same transaction is re-pushed (preempt or
+        restart re-uses the txn id), the live-set filter would count the
+        stale duplicate too, double-counting that transaction's work in
+        every backlog aggregate until compaction.
+        """
+        if txn.txn_id not in self._live:
+            return
         self._live.discard(txn.txn_id)
+        heap = self._update_heap if txn.is_update else self._query_heap
+        for index, entry in enumerate(heap):
+            if entry[1] == txn.txn_id:
+                del heap[index]
+                heapq.heapify(heap)
+                break
 
     def peek(self) -> Optional[Transaction]:
         """Highest-priority ready transaction without removing it."""
@@ -61,6 +79,12 @@ class ReadyQueue:
         if txn is None:
             return None
         self._live.discard(txn.txn_id)
+        # ``peek`` drained any dead prefix, so ``txn``'s entry is at the
+        # top of its heap; pop it physically (see ``remove``).
+        if txn.is_update:
+            heapq.heappop(self._update_heap)
+        else:
+            heapq.heappop(self._query_heap)
         return txn
 
     def _peek_heap(self, heap: List[Tuple[float, int, Transaction]]) -> Optional[Transaction]:

@@ -133,3 +133,31 @@ def test_property_pop_order_is_priority_order(entries):
     assert len(popped) == len(txns)
     keys = [txn.priority_key() for txn in popped]
     assert keys == sorted(keys)
+
+
+def test_repush_after_pop_counted_once():
+    """A dispatched-then-preempted transaction re-enters under the same
+    txn id; its old entry must not double-count in the backlogs."""
+    rq = ReadyQueue()
+    q = query(1, deadline=5.0, exec_time=0.25)
+    rq.push(q)
+    assert rq.pop() is q  # dispatched
+    rq.push(q)  # preempted back into the queue
+    assert len(rq.ready_queries()) == 1
+    assert rq.query_backlog_before(float("inf")) == pytest.approx(0.25)
+    probe = query(2, deadline=9.0)
+    assert rq.query_backlog_ahead_of(probe) == pytest.approx(0.25)
+
+
+def test_repush_after_remove_counted_once():
+    """Same for abort-restart: remove then re-push must leave one entry."""
+    rq = ReadyQueue()
+    first = query(1, deadline=5.0, exec_time=0.25)
+    later = query(2, deadline=7.0, exec_time=0.5)
+    rq.push(first)
+    rq.push(later)
+    rq.remove(first)
+    rq.push(first)
+    assert len(rq.ready_queries()) == 2
+    probe = query(3, deadline=9.0)
+    assert rq.query_backlog_ahead_of(probe) == pytest.approx(0.75)
