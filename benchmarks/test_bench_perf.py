@@ -18,7 +18,10 @@ read the file.
 import json
 import os
 import platform
+import time
 from pathlib import Path
+
+import pytest
 
 from repro.core.usm import TABLE2_PROFILES, PenaltyProfile
 from repro.experiments.config import ExperimentConfig
@@ -28,6 +31,20 @@ from repro.workload.cache import default_cache
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_JSON = REPO_ROOT / "BENCH_perf.json"
+
+#: Tolerated slowdown against the committed floor before the ratchet
+#: trips (fractional; 0.10 = fail when >10% below the floor).
+RATCHET_SLACK = 0.10
+
+#: The committed BENCH_perf.json, captured at import time — the bench
+#: tests below rewrite the file as they run, so the ratchet must read
+#: the floor before any of them records a fresh number.
+_COMMITTED: dict = {}
+if BENCH_JSON.exists():
+    try:
+        _COMMITTED = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+    except json.JSONDecodeError:
+        _COMMITTED = {}
 
 GRID_POLICIES = ("unit", "imu", "odu", "qmf", "elastic")
 GRID_TRACES = ("med-unif", "med-pos", "med-neg")
@@ -191,3 +208,51 @@ def test_bench_paired_grid_wall_clock(benchmark, bench_scale, bench_seed):
         for policy in GRID_POLICIES
     }
     assert len(submitted) == 1
+
+
+def test_bench_ratchet_against_committed_floor(bench_scale, bench_seed):
+    """Single-run throughput must not regress >10% below the committed
+    floor in ``BENCH_perf.json``.
+
+    Opt-in via ``REPRO_BENCH_RATCHET=1`` (CI sets it; local hosts vary
+    too much to gate by default).  The floor is whatever
+    ``single_run.<scale>.events_per_sec`` was *committed* — refresh the
+    file deliberately when the engine gets faster so the ratchet only
+    ever tightens.
+    """
+    if os.environ.get("REPRO_BENCH_RATCHET") != "1":
+        pytest.skip("ratchet disabled; set REPRO_BENCH_RATCHET=1 to gate")
+    section = _COMMITTED.get("single_run", {}).get(_scale_name(), {})
+    floor = section.get("events_per_sec")
+    if not floor:
+        pytest.skip(f"no committed single_run floor for scale {_scale_name()!r}")
+
+    config = ExperimentConfig(
+        policy="unit", update_trace="med-unif", seed=bench_seed, scale=bench_scale
+    )
+    default_cache().warm([config])
+    run_experiment(config)  # warmup
+    best = float("inf")
+    events = 0
+    for _ in range(5):
+        started = time.perf_counter()
+        report = run_experiment(config)
+        best = min(best, time.perf_counter() - started)
+        events = report.events_fired
+    measured = events / best
+    _record(
+        "ratchet",
+        {
+            "seed": bench_seed,
+            "floor_events_per_sec": floor,
+            "measured_events_per_sec": round(measured, 1),
+            "slack": RATCHET_SLACK,
+        },
+    )
+    assert measured >= floor * (1.0 - RATCHET_SLACK), (
+        f"single-run throughput {measured:,.0f} events/s fell more than "
+        f"{RATCHET_SLACK:.0%} below the committed floor {floor:,.0f} "
+        f"(scale {_scale_name()!r}); if this host is simply slower, "
+        f"refresh BENCH_perf.json deliberately instead of shipping a "
+        f"regression"
+    )

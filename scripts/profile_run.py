@@ -1,0 +1,79 @@
+"""Profile one experiment run and save the cProfile artifact.
+
+CI runs this after the perf benchmarks and uploads the output
+directory, so every perf-bench run carries the profile that explains
+its number.  Locally it is the entry point of the profiling workflow in
+``docs/performance.md``::
+
+    PYTHONPATH=src python scripts/profile_run.py --scale smoke --out perf-profile
+
+Writes ``profile_<scale>.prof`` (load with ``pstats`` or snakeviz) and
+``profile_<scale>.txt`` (top functions by cumulative and total time)
+into the output directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+from pathlib import Path
+
+from repro.experiments.config import ExperimentConfig, SCALES
+from repro.experiments.runner import run_experiment
+from repro.workload.cache import default_cache
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="smoke", choices=sorted(SCALES))
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--policy", default="unit")
+    parser.add_argument("--trace", default="med-unif")
+    parser.add_argument("--out", default="perf-profile")
+    parser.add_argument(
+        "--top", type=int, default=40, help="rows per table in the text summary"
+    )
+    args = parser.parse_args()
+
+    config = ExperimentConfig(
+        policy=args.policy,
+        update_trace=args.trace,
+        seed=args.seed,
+        scale=SCALES[args.scale],
+    )
+    # Warm the workload cache (and the interpreter) outside the profile
+    # so the numbers reflect the event loop, not trace generation.
+    default_cache().warm([config])
+    run_experiment(config)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    report = run_experiment(config)
+    profiler.disable()
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    prof_path = out_dir / f"profile_{args.scale}.prof"
+    profiler.dump_stats(prof_path)
+
+    text = io.StringIO()
+    stats = pstats.Stats(profiler, stream=text)
+    text.write(
+        f"profile: policy={args.policy} trace={args.trace} "
+        f"scale={args.scale} seed={args.seed} "
+        f"events_fired={report.events_fired}\n\n"
+    )
+    for sort in ("cumulative", "tottime"):
+        text.write(f"== top {args.top} by {sort} ==\n")
+        stats.sort_stats(sort).print_stats(args.top)
+        text.write("\n")
+    txt_path = out_dir / f"profile_{args.scale}.txt"
+    txt_path.write_text(text.getvalue(), encoding="utf-8")
+
+    print(f"wrote {prof_path} and {txt_path} ({report.events_fired} events)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,131 @@
+"""Cross-tree byte-identity battery: digest reports over a config grid.
+
+Runs a battery of configurations spanning every policy, several update
+traces, penalty profiles (naive and non-naive, so both admission gates
+fire), seeds, scales, and a fault scenario, then prints one SHA-256
+digest per cell plus a combined digest.  Run it on two checkouts and
+diff the output to verify that a performance change kept the simulation
+*byte-identical* — the contract every perf PR must satisfy.
+
+Usage::
+
+    PYTHONPATH=src python scripts/report_digest.py > digests.json
+    # ... switch trees ...
+    PYTHONPATH=src python scripts/report_digest.py > digests2.json
+    diff digests.json digests2.json
+
+The serialization matches tests/test_determinism_regression.py: float
+fields go through ``float.hex()`` so the comparison is exact bits, not
+a rounded repr.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+
+from repro.core.usm import TABLE2_PROFILES, PenaltyProfile
+from repro.experiments.config import SCALES, ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.faults.scenarios import canned
+
+
+def stable_report_bytes(report) -> bytes:
+    """Exact-bits serialization of every result field of a report."""
+    by_name = lambda kv: kv[0].value  # noqa: E731
+    payload = {
+        "policy": report.policy_name,
+        "counts": {
+            o.value: n
+            for o, n in sorted(report.outcome_counts.items(), key=by_name)
+        },
+        "submitted": report.queries_submitted,
+        "usm": report.usm.hex(),
+        "total_usm": report.total_usm.hex(),
+        "ratios": {
+            o.value: r.hex() for o, r in sorted(report.ratios.items(), key=by_name)
+        },
+        "components": {k: v.hex() for k, v in sorted(report.components.items())},
+        "update_arrivals": report.update_arrivals,
+        "updates_executed": report.updates_executed,
+        "updates_dropped": report.updates_dropped,
+        "query_access_counts": report.query_access_counts,
+        "update_counts_original": report.update_counts_original,
+        "update_counts_executed": report.update_counts_executed,
+        "busy": {k: v.hex() for k, v in sorted(report.busy_by_class.items())},
+        "events_fired": report.events_fired,
+        "summary": report.summary(),
+    }
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def battery() -> list:
+    smoke = SCALES["smoke"]
+    small = SCALES["small"]
+    naive = PenaltyProfile.naive()
+    cells = []
+    # Every policy x two traces x two profiles (the non-naive profile
+    # activates the endangered-queries USM gate) at smoke scale.
+    for policy in ("unit", "imu", "odu", "qmf", "elastic"):
+        for trace in ("med-unif", "high-pos"):
+            for profile in (naive, TABLE2_PROFILES["gt1-high-cfm"]):
+                for seed in (7, 11):
+                    cells.append(
+                        ExperimentConfig(
+                            policy=policy,
+                            update_trace=trace,
+                            profile=profile,
+                            seed=seed,
+                            scale=smoke,
+                        )
+                    )
+    # Deeper queues at small scale for the hot policies.
+    for policy in ("unit", "qmf"):
+        for profile in (naive, TABLE2_PROFILES["gt1-high-cr"]):
+            cells.append(
+                ExperimentConfig(
+                    policy=policy,
+                    update_trace="med-unif",
+                    profile=profile,
+                    seed=7,
+                    scale=small,
+                )
+            )
+    # A fault scenario (trace-shaping + live slowdown).
+    for name in ("update-storm", "pile-up"):
+        cells.append(
+            ExperimentConfig(
+                policy="unit",
+                update_trace="med-unif",
+                seed=7,
+                scale=smoke,
+                faults=canned(name, smoke.horizon, smoke.n_items),
+            )
+        )
+    return cells
+
+
+def main() -> int:
+    out = {}
+    combined = hashlib.sha256()
+    for config in battery():
+        label = (
+            f"{config.policy}/{config.update_trace}/"
+            f"{config.profile.name or 'naive'}/seed{config.seed}/"
+            f"h{config.scale.horizon:.0f}"
+            + (f"/faults:{config.faults.name}" if config.faults is not None else "")
+        )
+        blob = stable_report_bytes(run_experiment(config))
+        digest = hashlib.sha256(blob).hexdigest()
+        combined.update(blob)
+        out[label] = digest
+        print(f"# {label}: {digest}", file=sys.stderr)
+    out["__combined__"] = combined.hexdigest()
+    json.dump(out, sys.stdout, indent=2, sort_keys=True)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

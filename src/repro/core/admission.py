@@ -1,6 +1,9 @@
 """Query Admission Control (paper Section 3.3).
 
-Two gates, both O(ready-queue length) per arriving query:
+Two gates per arriving query, both backed by the ready queue's
+incrementally-maintained backlog aggregates (O(buckets) reads instead
+of full scans; the endangered-queries walk touches only the candidates
+dispatched after the newcomer, already in EDF order):
 
 1. **Transaction deadline check** — keep only *promising* queries:
    ``C_flex * EST_i + qe_i < qt_i`` where ``EST_i`` is the earliest
@@ -97,14 +100,25 @@ class AdmissionController:
         queued updates, and queued queries with earlier deadlines —
         stretched by the measured update load (future update arrivals
         preempt the whole query class)."""
-        backlog = server.running_remaining()
-        backlog += server.ready.update_backlog()
-        backlog += server.ready.query_backlog_ahead_of(query)
+        ready = server.ready
+        if not ready and server.running_transaction() is None:
+            # Idle server: every backlog term is exactly 0.0, and
+            # 0.0 * stretch == 0.0 for any stretch.
+            return 0.0
+        backlog = server.running_remaining() + ready.backlog_ahead_of(query)
         return backlog * self._drain_stretch()
 
     def _drain_stretch(self) -> float:
         """Bounded EDF-drain correction for the measured update load."""
-        return min(self.max_drain_stretch, 1.0 / max(0.05, 1.0 - self.update_load))
+        # Branches instead of min/max builtins: this runs per admission
+        # decision and the builtin calls dominate the arithmetic.
+        drain = 1.0 - self.update_load
+        if drain < 0.05:
+            drain = 0.05
+        stretch = 1.0 / drain
+        if stretch > self.max_drain_stretch:
+            stretch = self.max_drain_stretch
+        return stretch
 
     def endangered_queries(
         self,
@@ -122,30 +136,24 @@ class AdmissionController:
         (in the base backlog) when its txn id is smaller, behind it
         (endangered candidate) otherwise — never both, never neither.
         """
-        key = query.priority_key()
-        ready = [
-            other
-            for other in server.ready.ready_queries()
-            if other.priority_key() > key
-        ]
-        if not ready:
-            return []
-        ready.sort(key=lambda txn: txn.priority_key())
-
-        base = server.running_remaining() + server.ready.update_backlog()
-        base += server.ready.query_backlog_ahead_of(query)
-
         endangered: List[QueryTransaction] = []
         prefix = 0.0
+        base = -1.0
         now = server.now
-        for other in ready:
+        exec_time = query.exec_time
+        for other in server.ready.queries_after(query):
+            if base < 0.0:
+                # First candidate: pay for the base backlog only when
+                # the walk is non-empty (backlogs are never negative).
+                base = server.running_remaining()
+                base += server.ready.backlog_ahead_of(query)
             # Work ahead of `other` excluding the newcomer: base backlog
             # plus earlier-deadline ready queries between the newcomer
             # and `other`.
             start = base + prefix
             finish = now + start + other.remaining
             slack = other.deadline - finish
-            if 0.0 <= slack < query.exec_time:
+            if 0.0 <= slack < exec_time:
                 endangered.append(other)
             prefix += other.remaining
         return endangered

@@ -32,6 +32,10 @@ class ControlSignal(enum.Enum):
     DEGRADE_UPDATES = "DU"
     UPGRADE_UPDATES = "UU"
 
+    # Singleton members: the C-level identity hash beats Enum's
+    # name-based hash in the per-decision signal bookkeeping.
+    __hash__ = object.__hash__
+
 
 class LoadBalancingController:
     """Adaptive Allocation over a sliding outcome window."""

@@ -25,6 +25,19 @@ class LotteryScheduler:
         self._n = n
         self._tree = [0.0] * (n + 1)  # 1-based Fenwick tree
         self._weights = [0.0] * n
+        # Highest power of two <= n: the Fenwick descent's starting
+        # stride, fixed for the tree's lifetime.
+        bit = 1
+        while bit << 1 <= n:
+            bit <<= 1
+        self._top_bit = bit
+        # Cached total with a dirty flag: consecutive samples between
+        # weight mutations (the degrade loop's resampling) skip the
+        # descent resummation.  The cache is always refreshed by the
+        # same descent-order loop as :meth:`_prefix_sum`, so the cached
+        # float is bit-identical to an eager recomputation.
+        self._total_cache = 0.0
+        self._total_dirty = False
 
     def __len__(self) -> int:
         return self._n
@@ -32,7 +45,10 @@ class LotteryScheduler:
     @property
     def total(self) -> float:
         """Sum of all weights."""
-        return self._prefix_sum(self._n)
+        if self._total_dirty:
+            self._total_cache = self._prefix_sum(self._n)
+            self._total_dirty = False
+        return self._total_cache
 
     def weight(self, index: int) -> float:
         """Current weight of slot ``index``."""
@@ -52,6 +68,7 @@ class LotteryScheduler:
         if delta == 0:
             return
         self._weights[index] = weight
+        self._total_dirty = True
         position = index + 1
         while position <= self._n:
             self._tree[position] += delta
@@ -74,18 +91,29 @@ class LotteryScheduler:
 
         Returns None when all weights are zero.  Uses Fenwick descent:
         walk down the implicit tree consuming the drawn mass, O(log n).
+        The total comes from the dirty-flag cache (refilled inline in
+        the same descent order as :meth:`_prefix_sum`) — a frequent
+        call on the degradation path, so repeated picks between weight
+        mutations skip both the method hops and the resummation.
         """
-        total = self.total
+        tree = self._tree
+        n = self._n
+        if self._total_dirty:
+            total = 0.0
+            position = n
+            while position > 0:
+                total += tree[position]
+                position -= position & (-position)
+            self._total_cache = total
+            self._total_dirty = False
+        else:
+            total = self._total_cache
         if total <= 0:
             return None
         target = rng.random() * total
 
-        tree = self._tree
-        n = self._n
         position = 0
-        bit = 1
-        while bit << 1 <= n:
-            bit <<= 1
+        bit = self._top_bit
         remaining = target
         while bit:
             nxt = position + bit
@@ -111,6 +139,7 @@ class LotteryScheduler:
         if any(weight < 0 for weight in weights):
             raise ValueError("weights must be non-negative")
         self._weights = list(weights)
+        self._total_dirty = True
         self._tree = [0.0] * (self._n + 1)
         for index, weight in enumerate(weights):
             if weight:

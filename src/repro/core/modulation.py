@@ -108,7 +108,7 @@ class UpdateFrequencyModulator:
                 victim = self._sample_below_cap()
                 if victim is None:
                     break
-            item = self.items[victim]
+            item = self.items.rows[victim]
             before_period = item.current_period
             item.degrade_period(self.c_du)
             victims.append(victim)
@@ -126,12 +126,16 @@ class UpdateFrequencyModulator:
         return victims
 
     def _sample_below_cap(self, attempts: int = 8) -> Optional[int]:
+        sample = self.tickets.sample_victim
+        rng = self._rng
+        items = self.items.rows
+        max_stretch = self.max_stretch
         for _ in range(attempts):
-            victim = self.tickets.sample_victim(self._rng)
+            victim = sample(rng)
             if victim is None:
                 return None
-            item = self.items[victim]
-            if item.current_period < self.max_stretch * item.ideal_period:
+            item = items[victim]
+            if item.current_period < max_stretch * item.ideal_period:
                 return victim
         return None
 

@@ -111,7 +111,14 @@ class TicketBook:
 
     def _set_ticket(self, item_id: int, value: float) -> None:
         self._tickets[item_id] = value
-        self._lottery.set_weight(item_id, max(0.0, value - self._threshold))
+        # Branch instead of ``max(0.0, ...)``: this runs on every query
+        # access and every applied update, and the builtin call costs
+        # more than the compare (``<= 0.0`` also normalizes -0.0 away,
+        # exactly as ``max`` did by returning its first argument).
+        weight = value - self._threshold
+        if weight <= 0.0:
+            weight = 0.0
+        self._lottery.set_weight(item_id, weight)
 
     # ------------------------------------------------------------------
     # adaptive threshold (escalating degradation pressure)

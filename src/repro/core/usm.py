@@ -15,9 +15,11 @@ ratio — the paper's "naive USM" used in Fig. 4.
 from __future__ import annotations
 
 import dataclasses
+import functools
 from collections import deque
 from typing import Any, Deque, Dict, List, Mapping, Optional, Tuple
 
+from repro.core.fixedpoint import fixed_from_float, float_from_fixed
 from repro.db.transactions import Outcome
 
 
@@ -222,6 +224,32 @@ class MixedUsmAccumulator:
         return sorted(self._by_class)
 
 
+@functools.lru_cache(maxsize=None)
+def _window_entry(
+    prof: PenaltyProfile, outcome: Outcome
+) -> Tuple[int, Optional[Tuple[str, float]]]:
+    """Cached per-(profile, outcome) window bookkeeping: the exact
+    fixed-point mirror of the USM contribution and the cost pair.
+
+    Both are pure functions of the frozen pair and there are only a
+    handful of distinct profiles per experiment, so the window's
+    record path reduces to one cache hit.
+    """
+    contribution = prof.contribution(outcome)
+    cost: Optional[Tuple[str, float]]
+    if outcome is Outcome.SUCCESS:
+        cost = None  # successes carry gain, not cost (Eq. 5's S term)
+    elif outcome is Outcome.REJECTED:
+        cost = ("R", prof.c_r)
+    elif outcome is Outcome.DEADLINE_MISS:
+        cost = ("F_m", prof.c_fm)
+    elif outcome is Outcome.DATA_STALE:
+        cost = ("F_s", prof.c_fs)
+    else:
+        raise ValueError(f"unaccounted outcome {outcome!r}")
+    return fixed_from_float(contribution), cost
+
+
 class UsmWindow:
     """Recent-window USM signals for the feedback controllers.
 
@@ -239,12 +267,16 @@ class UsmWindow:
         self.profile = profile
         self.window = window
         self._events: Deque[Tuple[float, Outcome, PenaltyProfile]] = deque()
-        # Per-event USM contribution and (cost-key, cost) pairs, kept in
-        # lock-step with _events.  Both are pure functions of the frozen
-        # (outcome, profile) pair, so computing them once at record time
-        # instead of on every windowed scan changes no float: the scans
-        # below sum the very same values in the very same order.
-        self._contribs: Deque[float] = deque()
+        # Per-event fixed-point USM contribution and (cost-key, cost)
+        # pairs, kept in lock-step with _events.  Both are pure
+        # functions of the frozen (outcome, profile) pair (cached in
+        # _window_entry), so computing them once at record time changes
+        # no float.  _contrib_fixed is the exact running sum of the
+        # contribution mirrors: the windowed average becomes an O(1)
+        # read instead of an O(window) scan on every drop check, and
+        # add/subtract on the integer mirror cannot drift.
+        self._contribs: Deque[int] = deque()
+        self._contrib_fixed = 0
         self._costs: Deque[Optional[Tuple[str, float]]] = deque()
         self._counts: Dict[Outcome, int] = {outcome: 0 for outcome in Outcome}
 
@@ -255,20 +287,11 @@ class UsmWindow:
         profile: Optional[PenaltyProfile] = None,
     ) -> None:
         prof = profile or self.profile
+        fixed, cost = _window_entry(prof, outcome)
         self._events.append((now, outcome, prof))
-        self._contribs.append(prof.contribution(outcome))
+        self._contribs.append(fixed)
+        self._contrib_fixed += fixed
         self._counts[outcome] += 1
-        cost: Optional[Tuple[str, float]]
-        if outcome is Outcome.SUCCESS:
-            cost = None  # successes carry gain, not cost (Eq. 5's S term)
-        elif outcome is Outcome.REJECTED:
-            cost = ("R", prof.c_r)
-        elif outcome is Outcome.DEADLINE_MISS:
-            cost = ("F_m", prof.c_fm)
-        elif outcome is Outcome.DATA_STALE:
-            cost = ("F_s", prof.c_fs)
-        else:
-            raise ValueError(f"unaccounted outcome {outcome!r}")
         self._costs.append(cost)
 
     def _evict(self, now: float) -> None:
@@ -276,7 +299,7 @@ class UsmWindow:
         events = self._events
         while events and events[0][0] < cutoff:
             _, outcome, _ = events.popleft()
-            self._contribs.popleft()
+            self._contrib_fixed -= self._contribs.popleft()
             self._costs.popleft()
             self._counts[outcome] -= 1
 
@@ -298,7 +321,7 @@ class UsmWindow:
         self._evict(now)
         if not self._events:
             return None
-        return sum(self._contribs) / len(self._events)
+        return float_from_fixed(self._contrib_fixed) / len(self._events)
 
     def cost_components(self, now: float) -> Dict[str, float]:
         """Windowed R / F_m / F_s average costs (the Fig. 2 inputs),

@@ -156,6 +156,10 @@ class ItemTable:
         if actual != expected:
             raise ValueError("items must have dense ids 0..S-1 in order")
         self._items = items
+        # Public alias for per-event hot paths: indexing the list
+        # directly skips the ``__getitem__`` method-call overhead.  Ids
+        # are dense 0..S-1, so ``rows[item_id]`` is always valid.
+        self.rows: List[DataItem] = items
 
     @classmethod
     def uniform(

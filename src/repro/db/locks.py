@@ -32,6 +32,10 @@ class LockMode(enum.Enum):
     READ = "read"
     WRITE = "write"
 
+    # Singleton members: identity hash is correct and cheap (lock
+    # tables are dict-indexed per request on the hot path).
+    __hash__ = object.__hash__
+
 
 def _compatible(held: LockMode, requested: LockMode) -> bool:
     return held is LockMode.READ and requested is LockMode.READ
@@ -43,6 +47,8 @@ class LockStatus(enum.Enum):
     GRANTED = "granted"
     BLOCKED = "blocked"
     CONFLICT = "conflict"  # lower-priority holders must be aborted first
+
+    __hash__ = object.__hash__  # singleton members; see LockMode
 
 
 @dataclasses.dataclass
@@ -56,6 +62,12 @@ class LockRequestResult:
 
     status: LockStatus
     victims: Tuple[Transaction, ...] = ()
+
+
+#: Shared immutable results for the two allocation-free outcomes; the
+#: grant path runs once per lock request on the simulation hot path.
+_GRANTED = LockRequestResult(LockStatus.GRANTED)
+_BLOCKED = LockRequestResult(LockStatus.BLOCKED)
 
 
 @dataclasses.dataclass
@@ -107,7 +119,8 @@ class LockManager:
 
     def holds(self, txn: Transaction, item_id: int) -> bool:
         """True if ``txn`` currently holds a lock on ``item_id``."""
-        return item_id in self._held_by.get(txn.txn_id, set())
+        held = self._held_by.get(txn.txn_id)
+        return held is not None and item_id in held
 
     def held_items(self, txn: Transaction) -> Set[int]:
         """Ids of all items ``txn`` holds locks on."""
@@ -137,20 +150,26 @@ class LockManager:
         GRANTED no-op; read→write upgrades follow the same HP rule
         against the *other* holders.
         """
-        lock = self._locks.setdefault(item_id, _ItemLock())
+        locks = self._locks
+        lock = locks.get(item_id)
+        if lock is None:
+            lock = locks[item_id] = _ItemLock()
 
         # Uncontended fast path (the overwhelmingly common case): no
         # holders and no waiters means no conflict of any kind.
         if not lock.holders and not lock.waiters:
             lock.holders[txn.txn_id] = (txn, mode)
-            self._held_by.setdefault(txn.txn_id, set()).add(item_id)
-            return LockRequestResult(LockStatus.GRANTED)
+            held_items = self._held_by.get(txn.txn_id)
+            if held_items is None:
+                held_items = self._held_by[txn.txn_id] = set()
+            held_items.add(item_id)
+            return _GRANTED
 
         held = lock.holders.get(txn.txn_id)
         if held is not None:
             _, held_mode = held
             if held_mode is LockMode.WRITE or mode is LockMode.READ:
-                return LockRequestResult(LockStatus.GRANTED)
+                return _GRANTED
 
         conflicting = [
             holder
@@ -170,8 +189,11 @@ class LockManager:
 
         if not conflicting and not blocking_waiters:
             lock.holders[txn.txn_id] = (txn, mode)
-            self._held_by.setdefault(txn.txn_id, set()).add(item_id)
-            return LockRequestResult(LockStatus.GRANTED)
+            held_items = self._held_by.get(txn.txn_id)
+            if held_items is None:
+                held_items = self._held_by[txn.txn_id] = set()
+            held_items.add(item_id)
+            return _GRANTED
 
         higher_priority_conflicts = [
             holder
@@ -189,7 +211,7 @@ class LockManager:
                     txn.is_update,
                     sorted(lock.holders),
                 )
-            return LockRequestResult(LockStatus.BLOCKED)
+            return _BLOCKED
 
         # Every conflicting holder has strictly lower priority: 2PL-HP
         # says abort them all.
@@ -234,7 +256,9 @@ class LockManager:
         """
         self.cancel_wait(txn)
         granted: List[Transaction] = []
-        item_ids = self._held_by.pop(txn.txn_id, set())
+        item_ids = self._held_by.pop(txn.txn_id, None)
+        if item_ids is None:
+            return granted
         for item_id in item_ids:
             lock = self._locks.get(item_id)
             if lock is None:

@@ -23,8 +23,7 @@ period modulation — are delegated to a
 from __future__ import annotations
 
 import dataclasses
-import functools
-from typing import Dict, List, Optional, Set, Union
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.db.freshness import FreshnessMetric, LagFreshness, query_freshness
 from repro.db.items import DataItem, ItemTable
@@ -39,9 +38,15 @@ from repro.db.transactions import (
     UpdateTransaction,
 )
 from repro.obs.trace import NULL_RECORDER, Recorder
-from repro.sim.engine import Simulator, Timer
+from repro.sim.engine import Simulator
 
 Transaction = Union[QueryTransaction, UpdateTransaction]
+
+#: A run of consecutive source-update arrivals handed to
+#: :meth:`Server.source_update_run`: the ``(time, item_id)`` events,
+#: the index of the first unprocessed arrival, and an optional
+#: continuation invoked once the whole run has been applied.
+_UpdateRun = Tuple[Sequence[Tuple[float, int]], int, Optional[object]]
 
 # Same-instant event ordering: deadline aborts fire before arrivals,
 # arrivals before completions scheduled at the identical timestamp.
@@ -86,6 +91,9 @@ class Server:
     ) -> None:
         self.sim = sim
         self.items = items
+        # Direct row list for the per-event paths below; see
+        # :attr:`ItemTable.rows`.
+        self._item_rows = items.rows
         self.policy = policy
         self.config = config or ServerConfig()
         # Observability: every instrumentation site guards on
@@ -97,11 +105,26 @@ class Server:
         self.locks = LockManager()
         if self.obs.enabled:
             self.locks.bind_observer(self.obs, sim)
+            # Pre-bound emit methods for the hot kinds: one attribute
+            # load + call per occurrence instead of rebinding the
+            # recorder method every time.
+            self._emit_admit: Optional[Callable[..., None]] = self.obs.query_admit
+            self._emit_outcome: Optional[Callable[..., None]] = self.obs.query_outcome
+            self._emit_apply: Optional[Callable[..., None]] = self.obs.update_apply
+            self._emit_drop: Optional[Callable[..., None]] = self.obs.update_drop
+        else:
+            self._emit_admit = None
+            self._emit_outcome = None
+            self._emit_apply = None
+            self._emit_drop = None
 
         self._running: Optional[Transaction] = None
-        self._completion_timer: Optional[Timer] = None
+        # Engine tokens (see Simulator.schedule_token): completion and
+        # deadline timers are the two hottest schedule/cancel pairs, so
+        # they skip Timer/closure allocation entirely.
+        self._completion_token: Optional[int] = None
         self._blocked: Dict[int, Transaction] = {}
-        self._deadline_timers: Dict[int, Timer] = {}
+        self._deadline_tokens: Dict[int, int] = {}
 
         # ODU-style refresh dependencies.
         self._refresh_waiters: Dict[int, Set[int]] = {}  # update id -> query ids
@@ -148,21 +171,22 @@ class Server:
         if query.state is not TransactionState.PENDING:
             raise ValueError(f"query {query.txn_id} was already submitted")
         self.queries_submitted += 1
+        rows = self._item_rows
         for item_id in query.items:
-            self.items[item_id].record_query_access()
+            rows[item_id].record_query_access()
 
         if not self.policy.admit_query(query, self):
             query.state = TransactionState.ABORTED
             self._finalize_query(query, Outcome.REJECTED, freshness=None)
             return
 
-        obs = self.obs
-        if obs.enabled:
-            obs.query_admit(self.now, query.txn_id, query.deadline, len(query.items))
+        emit = self._emit_admit
+        if emit is not None:
+            emit(self.sim.now, query.txn_id, query.deadline, len(query.items))
         self._live_queries[query.txn_id] = query
         self.policy.on_query_admitted(query, self)
-        self._deadline_timers[query.txn_id] = self.sim.schedule(
-            query.deadline, functools.partial(self._deadline_abort, query),
+        self._deadline_tokens[query.txn_id] = self.sim.schedule_token(
+            query.deadline, self._deadline_abort, query,
             priority=DEADLINE_EVENT_PRIORITY,
         )
 
@@ -180,16 +204,56 @@ class Server:
         The policy decides whether the server spends CPU applying it;
         a dropped arrival still advances the item's staleness lag.
         """
-        item = self.items[item_id]
-        item.record_arrival(self.now)
+        item = self._item_rows[item_id]
+        item.record_arrival(self.sim.now)
         if self.policy.should_apply_update(item, self):
             self._enqueue_update(item, on_demand=False)
             self._dispatch()
         else:
             item.record_drop()
-            obs = self.obs
-            if obs.enabled:
-                obs.update_drop(self.now, item_id, item.current_period)
+            emit = self._emit_drop
+            if emit is not None:
+                emit(self.sim.now, item_id, item.current_period)
+
+    def source_update_run(self, run: _UpdateRun) -> None:
+        """Apply a run of consecutive source-update arrivals.
+
+        The experiment runner schedules one simulator event per *run*
+        (updates between two query arrivals) instead of one per
+        arrival.  Each arrival is processed with full per-arrival
+        semantics at its true time; between arrivals the clock advances
+        via :meth:`Simulator.fire_inline` — no heap traffic — unless
+        something else (a deadline, a completion, a control tick) is
+        due first, in which case the rest of the run falls back to a
+        real event and yields.  ``events_fired`` counts every arrival
+        exactly as the one-event-per-arrival scheme did.
+
+        The caller guarantees every arrival time precedes the run
+        horizon (``Simulator.run``'s ``until`` never bisects a run).
+        """
+        events, index, then = run
+        sim = self.sim
+        count = len(events)
+        arrive = self.source_update_arrival
+        while True:
+            arrive(events[index][1])
+            index += 1
+            if index >= count:
+                break
+            at = events[index][0]
+            head = sim.peek_key()
+            if head is None or head > (at, ARRIVAL_EVENT_PRIORITY):
+                sim.fire_inline(at)
+                continue
+            # Something pending outranks the next arrival: let the heap
+            # interleave it and resume the run afterwards.
+            sim.schedule_token(
+                at, self.source_update_run, (events, index, then),
+                priority=ARRIVAL_EVENT_PRIORITY,
+            )
+            return
+        if then is not None:
+            then()  # type: ignore[operator]
 
     def spawn_refresh(self, item: DataItem, query: QueryTransaction) -> UpdateTransaction:
         """Issue an on-demand refresh of ``item`` on behalf of ``query``
@@ -222,7 +286,7 @@ class Server:
     def _enqueue_update(self, item: DataItem, on_demand: bool) -> UpdateTransaction:
         update = UpdateTransaction(
             txn_id=self.next_txn_id(),
-            arrival=self.now,
+            arrival=self.sim.now,
             exec_time=item.update_exec_time,
             item_id=item.item_id,
             seqno=item.arrivals,
@@ -261,17 +325,18 @@ class Server:
             return
         running = self._running
         if running is not None:
+            now = self.sim.now
             started = running.run_started_at
-            elapsed = 0.0 if started is None else self.now - started
+            elapsed = 0.0 if started is None else now - started
             self._credit_busy(running, elapsed)
             running.remaining = max(0.0, running.remaining - elapsed * old_rate)
-            running.run_started_at = self.now
-            if self._completion_timer is not None:
-                self._completion_timer.cancel()
+            running.run_started_at = now
+            if self._completion_token is not None:
+                self.sim.cancel_token(self._completion_token)
             self._service_rate = rate
-            self._completion_timer = self.sim.schedule_after(
-                running.remaining / rate,
-                functools.partial(self._complete, running),
+            self._completion_token = self.sim.schedule_token(
+                now + running.remaining / rate,
+                self._complete, running,
                 priority=COMPLETION_EVENT_PRIORITY,
             )
         else:
@@ -279,11 +344,16 @@ class Server:
 
     def running_remaining(self) -> float:
         """Remaining work of the transaction on the CPU, right now."""
-        if self._running is None:
+        running = self._running
+        if running is None:
             return 0.0
-        started = self._running.run_started_at
-        elapsed = 0.0 if started is None else self.now - started
-        return max(0.0, self._running.remaining - elapsed * self._service_rate)
+        started = running.run_started_at
+        elapsed = 0.0 if started is None else self.sim.now - started
+        remaining = running.remaining - elapsed * self._service_rate
+        # Branch instead of ``max(0.0, ...)``: this is the admission
+        # controller's per-decision read (``<= 0.0`` also folds -0.0 to
+        # 0.0, exactly as ``max`` did by returning its first argument).
+        return 0.0 if remaining <= 0.0 else remaining
 
     def busy_time(self) -> float:
         """Total CPU busy time so far (both classes, including the
@@ -322,13 +392,15 @@ class Server:
             if candidate is None:
                 return
             if self._running is not None:
-                if candidate.priority_key() < self._running.priority_key():
+                # Compare the precomputed key fields directly: this pair
+                # of reads runs on every dispatch round.
+                if candidate._priority_key < self._running._priority_key:
                     self._preempt(self._running)
                 else:
                     return
-            # Take the candidate we already peeked (same transaction a
-            # pop() would return, without walking the heap a second time).
-            self.ready.remove(candidate)
+            # The peeked candidate is by definition the queue head, so
+            # pop() takes it in O(1) instead of a keyed removal.
+            self.ready.pop()
             # Whether the candidate started or blocked, go around again:
             # lock-conflict aborts during acquisition may have readied a
             # transaction that outranks whatever is now on the CPU.
@@ -341,12 +413,12 @@ class Server:
         for on-demand refreshes (the caller then tries the next
         candidate)."""
         if txn.is_update:
-            needed = [txn.item_id]
+            needed: Sequence[int] = (txn.item_id,)
             mode = LockMode.WRITE
         else:
             if self._park_for_refresh(txn):
                 return False
-            needed = list(txn.items)
+            needed = txn.items
             mode = LockMode.READ
 
         for item_id in needed:
@@ -370,7 +442,13 @@ class Server:
         """Give an on-demand policy the chance to refresh stale items
         before the query reads.  Returns True when the query was parked
         (it re-enters the ready queue when its refreshes commit)."""
-        if not any(self.items[item_id].udrop > 0 for item_id in query.items):
+        # Plain loop instead of any(genexpr): this runs on every query
+        # start attempt and the generator frame costs more than the walk.
+        rows = self._item_rows
+        for item_id in query.items:
+            if rows[item_id].udrop > 0:
+                break
+        else:
             return False
         if not self.policy.on_query_stale_at_read(query, self):
             return False
@@ -416,8 +494,9 @@ class Server:
         self.ready.push(txn)
 
     def _run(self, txn: Transaction) -> None:
+        now = self.sim.now
         txn.state = TransactionState.RUNNING
-        txn.run_started_at = self.now
+        txn.run_started_at = now
         if not txn.is_update and txn.observed_freshness is None:
             # The query reads its items now (under read locks, no update
             # can commit on them until it finishes or is aborted); the
@@ -428,31 +507,33 @@ class Server:
                 # Single-item fast path (the common case): the query
                 # freshness min over one item is that item's freshness.
                 txn.observed_freshness = metric.item_freshness(
-                    self.items[item_ids[0]], self.now
+                    self._item_rows[item_ids[0]], now
                 )
             else:
+                rows = self._item_rows
                 txn.observed_freshness = query_freshness(
-                    [self.items[item_id] for item_id in item_ids],
-                    self.now,
+                    [rows[item_id] for item_id in item_ids],
+                    now,
                     metric,
                 )
         self._running = txn
-        self._completion_timer = self.sim.schedule_after(
-            txn.remaining / self._service_rate,
-            functools.partial(self._complete, txn),
+        self._completion_token = self.sim.schedule_token(
+            now + txn.remaining / self._service_rate,
+            self._complete, txn,
             priority=COMPLETION_EVENT_PRIORITY,
         )
 
     def _preempt(self, txn: Transaction) -> None:
         """Take ``txn`` off the CPU, crediting the work done so far."""
         assert txn is self._running
-        if self._completion_timer is not None:
-            self._completion_timer.cancel()
-            self._completion_timer = None
+        if self._completion_token is not None:
+            self.sim.cancel_token(self._completion_token)
+            self._completion_token = None
         started = txn.run_started_at
-        elapsed = 0.0 if started is None else self.now - started
+        elapsed = 0.0 if started is None else self.sim.now - started
         self._credit_busy(txn, elapsed)
-        txn.remaining = max(0.0, txn.remaining - elapsed * self._service_rate)
+        remaining = txn.remaining - elapsed * self._service_rate
+        txn.remaining = 0.0 if remaining <= 0.0 else remaining
         txn.run_started_at = None
         txn.state = TransactionState.READY
         self._running = None
@@ -471,13 +552,13 @@ class Server:
     def _complete(self, txn: Transaction) -> None:
         assert txn is self._running
         started = txn.run_started_at
-        elapsed = 0.0 if started is None else self.now - started
+        elapsed = 0.0 if started is None else self.sim.now - started
         self._credit_busy(txn, elapsed)
         txn.remaining = 0.0
         txn.run_started_at = None
         txn.state = TransactionState.COMMITTED
         self._running = None
-        self._completion_timer = None
+        self._completion_token = None
 
         granted = self.locks.release_all(txn)
 
@@ -491,17 +572,19 @@ class Server:
         self._dispatch()
 
     def _commit_update(self, update: UpdateTransaction) -> None:
-        item = self.items[update.item_id]
-        item.apply_update(update.seqno, self.now)
-        item.last_execution_started = self.now - update.exec_time
+        now = self.sim.now
+        item = self._item_rows[update.item_id]
+        item.apply_update(update.seqno, now)
+        item.last_execution_started = now - update.exec_time
         self.policy.on_update_applied(update, item, self)
-        obs = self.obs
-        if obs.enabled:
-            obs.update_apply(
-                self.now, update.item_id, update.txn_id, update.on_demand, update.period
-            )
+        emit = self._emit_apply
+        if emit is not None:
+            emit(now, update.item_id, update.txn_id, update.on_demand, update.period)
 
-        for query_id in self._refresh_waiters.pop(update.txn_id, set()):
+        waiters = self._refresh_waiters.pop(update.txn_id, None)
+        if waiters is None:
+            return
+        for query_id in waiters:
             pending = self._query_refreshes.get(query_id)
             if pending is None:
                 continue
@@ -515,14 +598,14 @@ class Server:
                 self.ready.push(query)
 
     def _commit_query(self, query: QueryTransaction) -> None:
-        timer = self._deadline_timers.pop(query.txn_id, None)
-        if timer is not None:
-            timer.cancel()
+        token = self._deadline_tokens.pop(query.txn_id, None)
+        if token is not None:
+            self.sim.cancel_token(token)
         freshness = query.observed_freshness
         if freshness is None:  # defensive: commit without a run snapshot
             freshness = query_freshness(
-                (self.items[item_id] for item_id in query.items),
-                self.now,
+                (self._item_rows[item_id] for item_id in query.items),
+                self.sim.now,
                 self.config.freshness_metric,
             )
         if freshness + 1e-12 >= query.freshness_req:
@@ -559,13 +642,13 @@ class Server:
         if not victim.is_update:
             victim.restarts += 1
             victim.observed_freshness = None  # the restart re-reads
-            if self.config.restart_aborted_queries and self.now < victim.deadline:
+            if self.config.restart_aborted_queries and self.sim.now < victim.deadline:
                 victim.state = TransactionState.READY
                 self.ready.push(victim)
             else:
-                timer = self._deadline_timers.pop(victim.txn_id, None)
-                if timer is not None:
-                    timer.cancel()
+                token = self._deadline_tokens.pop(victim.txn_id, None)
+                if token is not None:
+                    self.sim.cancel_token(token)
                 victim.state = TransactionState.ABORTED
                 self._finalize_query(victim, Outcome.DEADLINE_MISS, freshness=None)
         else:
@@ -579,13 +662,14 @@ class Server:
         """Remove ``txn`` from the CPU, the ready queue, or the blocked
         set — wherever it currently lives."""
         if txn is self._running:
-            if self._completion_timer is not None:
-                self._completion_timer.cancel()
-                self._completion_timer = None
+            if self._completion_token is not None:
+                self.sim.cancel_token(self._completion_token)
+                self._completion_token = None
             started = txn.run_started_at
-            elapsed = 0.0 if started is None else self.now - started
+            elapsed = 0.0 if started is None else self.sim.now - started
             self._credit_busy(txn, elapsed)
-            txn.remaining = max(0.0, txn.remaining - elapsed * self._service_rate)
+            remaining = txn.remaining - elapsed * self._service_rate
+            txn.remaining = 0.0 if remaining <= 0.0 else remaining
             txn.run_started_at = None
             self._running = None
         elif txn in self.ready:
@@ -600,14 +684,16 @@ class Server:
         outcome: Outcome,
         freshness: Optional[float],
     ) -> None:
-        timer = self._deadline_timers.pop(query.txn_id, None)
-        if timer is not None:
-            timer.cancel()
+        token = self._deadline_tokens.pop(query.txn_id, None)
+        if token is not None:
+            self.sim.cancel_token(token)
         # Drop any outstanding refresh dependencies.
-        for update_id in self._query_refreshes.pop(query.txn_id, set()):
-            waiters = self._refresh_waiters.get(update_id)
-            if waiters is not None:
-                waiters.discard(query.txn_id)
+        refreshes = self._query_refreshes.pop(query.txn_id, None)
+        if refreshes is not None:
+            for update_id in refreshes:
+                waiters = self._refresh_waiters.get(update_id)
+                if waiters is not None:
+                    waiters.discard(query.txn_id)
         self._live_queries.pop(query.txn_id, None)
 
         if outcome is not Outcome.REJECTED:
@@ -618,6 +704,7 @@ class Server:
             )
         # Positional construction (field order) — this is the per-query
         # hot exit path and keyword binding measurably adds up.
+        now = self.sim.now
         record = QueryRecord(
             query.txn_id,
             query.arrival,
@@ -626,7 +713,7 @@ class Server:
             query.relative_deadline,
             query.freshness_req,
             outcome,
-            self.now,
+            now,
             freshness,
             query.restarts,
             query.profile,
@@ -634,14 +721,14 @@ class Server:
         )
         self.records.append(record)
         self.outcome_counts[outcome] += 1
-        obs = self.obs
-        if obs.enabled:
-            obs.query_outcome(
-                self.now,
+        emit = self._emit_outcome
+        if emit is not None:
+            emit(
+                now,
                 query.txn_id,
                 outcome.value,
                 query.arrival,
-                self.now - query.arrival,
+                now - query.arrival,
                 freshness,
                 query.restarts,
             )

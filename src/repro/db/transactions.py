@@ -30,6 +30,11 @@ class Outcome(enum.Enum):
     DEADLINE_MISS = "dmf"
     DATA_STALE = "dsf"
 
+    # Members are singletons, so the C-level identity hash is correct
+    # and much cheaper than Enum's per-call name hash — outcome counts
+    # are dict-indexed on the simulation hot path.
+    __hash__ = object.__hash__
+
 
 class TransactionState(enum.Enum):
     """Lifecycle of a transaction inside the server."""
@@ -40,6 +45,8 @@ class TransactionState(enum.Enum):
     BLOCKED = "blocked"  # waiting on a lock or on refresh dependencies
     COMMITTED = "committed"
     ABORTED = "aborted"
+
+    __hash__ = object.__hash__  # singleton members; see Outcome
 
 
 # Class-priority ranks: updates run above queries (Section 3.1).

@@ -211,59 +211,90 @@ def _drain_window(query_trace: QueryTrace, horizon: float) -> float:
     return max(0.0, last_deadline - horizon) + 1.0
 
 
+#: Arrival-feed chunk size: heap entries scheduled per pump (an update
+#: run counts as one entry however many arrivals it carries).
+_ARRIVAL_CHUNK = 256
+
+
 def _feed_arrivals(
     sim: Simulator,
     server: Server,
     queries: List[QueryTransaction],
     update_events: List,
 ) -> None:
-    """Schedule trace arrivals lazily, one in-flight event at a time.
+    """Schedule trace arrivals in batched chunks of heap entries.
 
     Eagerly scheduling every arrival puts thousands of far-future events
     in the heap, inflating every push/pop for the whole run.  Instead the
     two (time-sorted) streams are merged — queries before updates on
-    exact ties, matching the former scheduling order — and each arrival
-    event chains the next one when it fires.  Event *firing* order is
-    unchanged: priorities partition the event types, and within the
-    arrival priority the chained events keep the trace order, so runs
-    are byte-identical to the eager version.
+    exact ties, matching the former scheduling order — into *segments*:
+    individual query arrivals, and runs of consecutive update arrivals
+    between them.  Each run is a single heap entry however long it is
+    (:meth:`Server.source_update_run` applies its arrivals inline); the
+    segments are scheduled a chunk at a time through the engine's batch
+    heapify, and the last entry of each chunk pumps the next chunk when
+    it fires (before its own payload, like the former chained feeder).
+
+    Event *firing* order is unchanged: arrivals are the only events at
+    their priority, chunk entries carry stream-ordered sequence numbers,
+    and a run yields to any other pending event type due mid-run — so
+    runs are byte-identical (``events_fired`` included) to the
+    one-event-per-arrival scheme.
     """
+    # Pre-merge the streams into segments.  A run collects updates
+    # strictly before the next query arrival: an update tying a query's
+    # arrival time sorts after it, matching the former per-event order.
+    segments: List[object] = []
     qi = 0
     ui = 0
     n_queries = len(queries)
     n_updates = len(update_events)
-    schedule = sim.schedule
-    submit = server.submit_query
-    update_arrival = server.source_update_arrival
-    # The single in-flight arrival, consumed by fire() below.  One shared
-    # callback object serves every arrival event — no per-event closure.
-    in_flight_query: Optional[QueryTransaction] = None
-    in_flight_item = -1
-
-    def pump() -> None:
-        nonlocal qi, ui, in_flight_query, in_flight_item
+    while qi < n_queries or ui < n_updates:
         if qi < n_queries and (
             ui >= n_updates or queries[qi].arrival <= update_events[ui][0]
         ):
-            txn = queries[qi]
+            segments.append(queries[qi])
             qi += 1
-            in_flight_query = txn
-            schedule(txn.arrival, fire, ARRIVAL_EVENT_PRIORITY)
-        elif ui < n_updates:
-            at, item_id = update_events[ui]
-            ui += 1
-            in_flight_query = None
-            in_flight_item = item_id
-            schedule(at, fire, ARRIVAL_EVENT_PRIORITY)
-
-    def fire() -> None:
-        txn = in_flight_query
-        item_id = in_flight_item
-        pump()  # chain first: the next arrival outranks fallout
-        if txn is not None:
-            submit(txn)
+            continue
+        start = ui
+        if qi < n_queries:
+            bound = queries[qi].arrival
+            while ui < n_updates and update_events[ui][0] < bound:
+                ui += 1
         else:
-            update_arrival(item_id)
+            ui = n_updates
+        segments.append(update_events[start:ui])
+
+    submit = server.submit_query
+    run_entry = server.source_update_run
+    schedule_batch = sim.schedule_batch
+    n_segments = len(segments)
+    position = 0
+
+    def submit_and_pump(txn: QueryTransaction) -> None:
+        pump()  # chain first: the next chunk is scheduled, not fired
+        submit(txn)
+
+    def pump() -> None:
+        nonlocal position
+        if position >= n_segments:
+            return
+        end = min(position + _ARRIVAL_CHUNK, n_segments)
+        last = end - 1
+        batch = []
+        for index in range(position, end):
+            segment = segments[index]
+            if type(segment) is list:  # an update run
+                callback = run_entry
+                at = segment[0][0]
+                arg: object = (segment, 0, pump if index == last else None)
+            else:
+                callback = submit_and_pump if index == last else submit
+                at = segment.arrival  # type: ignore[attr-defined]
+                arg = segment
+            batch.append((at, ARRIVAL_EVENT_PRIORITY, callback, arg))
+        position = end
+        schedule_batch(batch)
 
     pump()
 

@@ -258,28 +258,42 @@ class RunMetrics:
 
     def observe_event(self, event: _trace.TraceEvent) -> None:
         kind = event.kind
-        fields = event.fields
         reg = self.registry
         if kind == _trace.QUERY_OUTCOME:
-            outcome = str(fields["outcome"])
+            # ``event.fields`` on the typed hot-kind events builds a
+            # dict per read, so the two hottest branches fetch field
+            # values without it (the typed attributes when present,
+            # falling back to the dict for hand-built TraceEvents).
+            if isinstance(event, _trace.QueryOutcomeEvent):
+                outcome = str(event.outcome)
+                latency: object = event.latency
+                freshness: object = event.freshness
+                restarts: object = event.restarts
+            else:
+                fields = event.fields
+                outcome = str(fields["outcome"])
+                latency = fields["latency"]
+                freshness = fields["freshness"]
+                restarts = fields["restarts"]
             reg.counter("repro_query_outcomes_total", {"outcome": outcome}).inc()
             if outcome != "rejected":
-                latency = fields["latency"]
                 if isinstance(latency, (int, float)):
                     reg.histogram(
                         "repro_query_latency_seconds", LATENCY_EDGES
                     ).observe(float(latency))
-                freshness = fields["freshness"]
                 if isinstance(freshness, (int, float)):
                     reg.histogram(
                         "repro_query_freshness_ratio", FRESHNESS_EDGES
                     ).observe(float(freshness))
-                restarts = fields["restarts"]
                 if isinstance(restarts, (int, float)) and restarts:
                     reg.counter("repro_query_restarts_total").inc(float(restarts))
-        elif kind == _trace.QUERY_ADMIT:
+            return
+        if kind == _trace.QUERY_ADMIT:
+            # Counts only — never materialize the fields dict.
             reg.counter("repro_query_admitted_total").inc()
-        elif kind == _trace.ADMISSION_DECISION:
+            return
+        fields = event.fields
+        if kind == _trace.ADMISSION_DECISION:
             reg.counter(
                 "repro_admission_decisions_total",
                 {"reason": str(fields["reason"])},

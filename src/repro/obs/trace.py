@@ -104,6 +104,86 @@ class TraceEvent:
         return f"TraceEvent(t={self.time:.6f}, kind={self.kind!r}, {self.fields!r})"
 
 
+class QueryAdmitEvent(TraceEvent):
+    """``query.admit`` with typed slots instead of an eager fields dict.
+
+    Admit and outcome are the two hottest kinds on the enabled path; the
+    per-event dict construction dominated their recording cost.  The
+    ``fields`` property (shadowing the base slot) builds the same dict
+    on demand for exporters, so the flattened form is unchanged.
+    """
+
+    __slots__ = ("txn", "deadline", "n_items")
+
+    def __init__(self, time: float, txn: int, deadline: float, n_items: int) -> None:
+        self.time = time
+        self.kind = QUERY_ADMIT
+        self.txn = txn
+        self.deadline = deadline
+        self.n_items = n_items
+
+    @property
+    def fields(self) -> Dict[str, object]:  # type: ignore[override]
+        return {"txn": self.txn, "deadline": self.deadline, "items": self.n_items}
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "t": self.time,
+            "kind": self.kind,
+            "txn": self.txn,
+            "deadline": self.deadline,
+            "items": self.n_items,
+        }
+
+
+class QueryOutcomeEvent(TraceEvent):
+    """``query.outcome`` with typed slots; see :class:`QueryAdmitEvent`."""
+
+    __slots__ = ("txn", "outcome", "arrival", "latency", "freshness", "restarts")
+
+    def __init__(
+        self,
+        time: float,
+        txn: int,
+        outcome: str,
+        arrival: float,
+        latency: float,
+        freshness: Optional[float],
+        restarts: int,
+    ) -> None:
+        self.time = time
+        self.kind = QUERY_OUTCOME
+        self.txn = txn
+        self.outcome = outcome
+        self.arrival = arrival
+        self.latency = latency
+        self.freshness = freshness
+        self.restarts = restarts
+
+    @property
+    def fields(self) -> Dict[str, object]:  # type: ignore[override]
+        return {
+            "txn": self.txn,
+            "outcome": self.outcome,
+            "arrival": self.arrival,
+            "latency": self.latency,
+            "freshness": self.freshness,
+            "restarts": self.restarts,
+        }
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "t": self.time,
+            "kind": self.kind,
+            "txn": self.txn,
+            "outcome": self.outcome,
+            "arrival": self.arrival,
+            "latency": self.latency,
+            "freshness": self.freshness,
+            "restarts": self.restarts,
+        }
+
+
 class Recorder:
     """Interface shared by :class:`TraceRecorder` and :class:`NullRecorder`.
 
@@ -357,7 +437,9 @@ class TraceRecorder(Recorder):
         self.metrics = metrics
 
     def emit(self, time: float, kind: str, fields: Dict[str, object]) -> None:
-        event = TraceEvent(time, kind, fields)
+        self._record(TraceEvent(time, kind, fields), kind)
+
+    def _record(self, event: TraceEvent, kind: str) -> None:
         ring = self._ring
         if len(ring) >= self._capacity:
             ring.popleft()
@@ -367,6 +449,32 @@ class TraceRecorder(Recorder):
         counts[kind] = counts.get(kind, 0) + 1
         if self.metrics is not None:
             self.metrics.observe_event(event)
+
+    # The two hottest kinds bypass ``emit`` entirely: a typed slotted
+    # event is appended with no fields dict (built lazily only if an
+    # exporter asks).
+
+    def query_admit(
+        self, time: float, txn_id: int, deadline: float, n_items: int
+    ) -> None:
+        self._record(QueryAdmitEvent(time, txn_id, deadline, n_items), QUERY_ADMIT)
+
+    def query_outcome(
+        self,
+        time: float,
+        txn_id: int,
+        outcome: str,
+        arrival: float,
+        latency: float,
+        freshness: Optional[float],
+        restarts: int,
+    ) -> None:
+        self._record(
+            QueryOutcomeEvent(
+                time, txn_id, outcome, arrival, latency, freshness, restarts
+            ),
+            QUERY_OUTCOME,
+        )
 
     def __len__(self) -> int:
         return len(self._ring)

@@ -5,10 +5,20 @@ queue.  Callers schedule callbacks at absolute times or after delays
 and receive a :class:`Timer` handle that can cancel the pending event —
 the engine uses lazy deletion, so cancellation is O(1).
 
-The heap stores ``(time, priority, seq, event)`` tuples so that sift
-operations compare native tuples in C instead of calling
-``Event.__lt__``; ``seq`` is unique per event, so the ordering is the
-same total order and the :class:`Event` payload is never compared.
+Storage is a *slotted event arena*: the heap holds ``(time, priority,
+seq, slot)`` tuples (compared natively in C; ``seq`` is unique, so the
+``slot`` payload is never compared) while the callback, its optional
+argument, and the pending/cancelled flag live in parallel arrays
+indexed by ``slot``.  Fired and cancelled slots return to a free list
+and are reused, so steady-state event churn allocates nothing beyond
+the heap tuple itself; a per-slot generation counter makes stale
+handles (a :class:`Timer` or packed token for a slot that has since
+been recycled) harmless.
+
+Lazy deletion is bounded: when cancelled entries exceed half the heap
+(and a small floor), the heap is rebuilt without them, so workloads
+that cancel most of their timers — e.g. every admitted query cancels
+its deadline timer on commit — cannot grow the heap without bound.
 
 The engine is deliberately minimal: it has no notion of processes or
 resources.  The preemptive CPU model lives in
@@ -18,11 +28,23 @@ resources.  The preemptive CPU model lives in
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, List, Optional, Tuple
+import math
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
-from repro.sim.events import Event
+_HeapEntry = Tuple[float, int, int, int]
 
-_HeapEntry = Tuple[float, int, int, Event]
+#: Sentinel distinguishing "no argument" from "argument is None".
+_NO_ARG: Any = object()
+
+#: Token layout: ``(generation << _SLOT_BITS) | slot``.  Slot indices
+#: are bounded by the peak number of concurrently pending events, so
+#: 2**40 slots is unreachable in any physical run.
+_SLOT_BITS = 40
+_SLOT_MASK = (1 << _SLOT_BITS) - 1
+
+#: Rebuild the heap when cancelled entries pass this floor *and* make
+#: up more than half of it (amortized O(1) per cancellation).
+_COMPACT_MIN_CANCELLED = 64
 
 
 class SimulationError(RuntimeError):
@@ -32,30 +54,25 @@ class SimulationError(RuntimeError):
 class Timer:
     """Handle to a scheduled event; supports cancellation and queries."""
 
-    __slots__ = ("_event", "_sim")
+    __slots__ = ("_sim", "_slot", "_gen", "time")
 
-    def __init__(self, event: Event, sim: "Simulator") -> None:
-        self._event = event
+    def __init__(self, sim: "Simulator", slot: int, gen: int, time: float) -> None:
         self._sim = sim
-
-    @property
-    def time(self) -> float:
-        """Scheduled firing time."""
-        return self._event.time
+        self._slot = slot
+        self._gen = gen
+        #: Scheduled firing time (stable even after the event resolves).
+        self.time = time
 
     @property
     def active(self) -> bool:
         """True while the event is still pending (not fired, not cancelled)."""
-        event = self._event
-        return not (event.cancelled or event.fired)
+        sim = self._sim
+        slot = self._slot
+        return sim._gen[slot] == self._gen and not sim._flag[slot]
 
     def cancel(self) -> None:
         """Cancel the pending event.  Idempotent; a no-op once fired."""
-        event = self._event
-        if event.cancelled or event.fired:
-            return
-        event.cancelled = True
-        self._sim._on_cancel()
+        self._sim._cancel(self._slot, self._gen)
 
 
 class Simulator:
@@ -66,20 +83,26 @@ class Simulator:
         sim = Simulator()
         sim.schedule(1.0, lambda: print("hello at t=1"))
         sim.run()
+
+    ``now`` is exposed as a plain attribute (reads are on every hot
+    path); treat it as read-only — only the engine advances the clock.
     """
 
     def __init__(self) -> None:
-        self._now = 0.0
+        #: Current simulated time in seconds.  Read-only for callers.
+        self.now = 0.0
         self._heap: List[_HeapEntry] = []
         self._seq = 0
         self._fired = 0
         self._live = 0
+        self._cancelled = 0
         self._running = False
-
-    @property
-    def now(self) -> float:
-        """Current simulated time in seconds."""
-        return self._now
+        # The arena: parallel per-slot storage.
+        self._cb: List[Optional[Callable[..., Any]]] = []
+        self._arg: List[Any] = []
+        self._gen: List[int] = []
+        self._flag = bytearray()  # 0 = pending, 1 = cancelled
+        self._free: List[int] = []
 
     @property
     def pending(self) -> int:
@@ -98,13 +121,68 @@ class Simulator:
 
         Unlike :attr:`pending` this counts lazily-deleted events still
         occupying heap slots — the quantity that drives push/pop cost,
-        which is what observability-of-the-engine cares about.
+        which is what observability-of-the-engine cares about.  Bounded
+        at roughly twice :attr:`pending` by the cancellation compactor.
         """
         return len(self._heap)
 
-    def _on_cancel(self) -> None:
-        """Bookkeeping hook for :meth:`Timer.cancel` (lazy deletion)."""
+    # ------------------------------------------------------------------
+    # slot management
+    # ------------------------------------------------------------------
+
+    def _alloc(self, callback: Callable[..., Any], arg: Any) -> int:
+        free = self._free
+        if free:
+            slot = free.pop()
+            self._cb[slot] = callback
+            self._arg[slot] = arg
+            self._flag[slot] = 0
+        else:
+            slot = len(self._cb)
+            self._cb.append(callback)
+            self._arg.append(arg)
+            self._gen.append(0)
+            self._flag.append(0)
+        return slot
+
+    def _release(self, slot: int) -> None:
+        """Recycle a slot whose heap entry has been popped."""
+        self._gen[slot] += 1
+        self._cb[slot] = None
+        self._arg[slot] = None
+        self._flag[slot] = 0
+        self._free.append(slot)
+
+    def _cancel(self, slot: int, gen: int) -> None:
+        """Lazily cancel the event in ``slot`` (no-op on stale handles)."""
+        if self._gen[slot] != gen or self._flag[slot]:
+            return
+        self._flag[slot] = 1
+        self._cb[slot] = None
+        self._arg[slot] = None
         self._live -= 1
+        cancelled = self._cancelled + 1
+        self._cancelled = cancelled
+        if cancelled >= _COMPACT_MIN_CANCELLED and cancelled * 2 > len(self._heap):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries, recycling their slots."""
+        flag = self._flag
+        kept: List[_HeapEntry] = []
+        for entry in self._heap:
+            slot = entry[3]
+            if flag[slot]:
+                self._release(slot)
+            else:
+                kept.append(entry)
+        heapq.heapify(kept)
+        self._heap = kept
+        self._cancelled = 0
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
 
     def schedule(
         self,
@@ -125,16 +203,16 @@ class Simulator:
         Raises:
             SimulationError: If ``at`` is in the simulated past.
         """
-        if at < self._now:
+        if at < self.now:
             raise SimulationError(
-                f"cannot schedule event at t={at:.6f} before now={self._now:.6f}"
+                f"cannot schedule event at t={at:.6f} before now={self.now:.6f}"
             )
+        slot = self._alloc(callback, _NO_ARG)
         seq = self._seq + 1
         self._seq = seq
-        event = Event(at, priority, seq, callback)
-        heapq.heappush(self._heap, (at, priority, seq, event))
+        heapq.heappush(self._heap, (at, priority, seq, slot))
         self._live += 1
-        return Timer(event, self)
+        return Timer(self, slot, self._gen[slot], at)
 
     def schedule_after(
         self,
@@ -145,7 +223,81 @@ class Simulator:
         """Schedule ``callback`` after a non-negative ``delay``."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        return self.schedule(self._now + delay, callback, priority=priority)
+        return self.schedule(self.now + delay, callback, priority=priority)
+
+    def schedule_token(
+        self,
+        at: float,
+        callback: Callable[[Any], Any],
+        arg: Any,
+        priority: int = 0,
+    ) -> int:
+        """Schedule ``callback(arg)`` and return a packed cancel token.
+
+        The allocation-free flavour of :meth:`schedule` for internal
+        hot paths: no :class:`Timer` object, no closure — the argument
+        rides in the arena and the returned ``int`` token cancels via
+        :meth:`cancel_token`.  Stale tokens (event already fired or
+        cancelled) are harmless.
+        """
+        if at < self.now:
+            raise SimulationError(
+                f"cannot schedule event at t={at:.6f} before now={self.now:.6f}"
+            )
+        # _alloc inlined: schedule_token is the engine's hottest entry.
+        free = self._free
+        if free:
+            slot = free.pop()
+            self._cb[slot] = callback
+            self._arg[slot] = arg
+            self._flag[slot] = 0
+        else:
+            slot = len(self._cb)
+            self._cb.append(callback)
+            self._arg.append(arg)
+            self._gen.append(0)
+            self._flag.append(0)
+        seq = self._seq + 1
+        self._seq = seq
+        heapq.heappush(self._heap, (at, priority, seq, slot))
+        self._live += 1
+        return (self._gen[slot] << _SLOT_BITS) | slot
+
+    def cancel_token(self, token: int) -> None:
+        """Cancel the event behind a :meth:`schedule_token` token.
+        Idempotent; a no-op once the event fired."""
+        self._cancel(token & _SLOT_MASK, token >> _SLOT_BITS)
+
+    def schedule_batch(
+        self,
+        entries: Sequence[Tuple[float, int, Callable[..., Any], Any]],
+    ) -> None:
+        """Schedule many ``(at, priority, callback, arg)`` events at once.
+
+        Sequence numbers are assigned in list order (so equal
+        ``(at, priority)`` entries fire in list order) and the heap is
+        restored with one :func:`heapq.heapify` instead of per-event
+        sifts — the cheap way to feed a chunk of trace arrivals.  Every
+        batch entry carries an explicit argument (``callback(arg)``).
+        """
+        now = self.now
+        heap = self._heap
+        seq = self._seq
+        alloc = self._alloc
+        for at, priority, callback, arg in entries:
+            if at < now:
+                raise SimulationError(
+                    f"cannot schedule event at t={at:.6f} before now={now:.6f}"
+                )
+            seq += 1
+            heap.append((at, priority, seq, alloc(callback, arg)))
+        self._seq = seq
+        heapq.heapify(heap)
+        self._live += len(entries)
+
+    # ------------------------------------------------------------------
+    # inspection / inline advancement
+    # ------------------------------------------------------------------
 
     def peek_time(self) -> Optional[float]:
         """Firing time of the next live event, or None if the queue is drained."""
@@ -154,17 +306,56 @@ class Simulator:
             return None
         return self._heap[0][0]
 
+    def peek_key(self) -> Optional[Tuple[float, int]]:
+        """``(time, priority)`` of the next live event, or None when drained.
+
+        Lets a caller decide whether work it could perform inline (see
+        :meth:`fire_inline`) would fire before anything in the queue.
+        """
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        head = self._heap[0]
+        return (head[0], head[1])
+
+    def fire_inline(self, at: float) -> None:
+        """Account one event processed outside the heap at time ``at``.
+
+        Advances the clock and the fired counter exactly as if a
+        scheduled event had popped, without ever entering the heap.
+        The caller owns the ordering proof: ``at`` must not precede the
+        clock, and nothing pending (see :meth:`peek_key`) may be due to
+        fire before the inlined event would have.  The server's batched
+        update application is the intended user.
+        """
+        if at < self.now:
+            raise SimulationError(
+                f"cannot fire inline at t={at:.6f} before now={self.now:.6f}"
+            )
+        self.now = at
+        self._fired += 1
+
+    # ------------------------------------------------------------------
+    # the loop
+    # ------------------------------------------------------------------
+
     def step(self) -> bool:
         """Fire the next live event.  Returns False when the queue is empty."""
         self._drop_cancelled()
         if not self._heap:
             return False
-        time, _, _, event = heapq.heappop(self._heap)
-        self._now = time
+        time, _, _, slot = heapq.heappop(self._heap)
+        self.now = time
         self._fired += 1
         self._live -= 1
-        event.fired = True
-        event.callback()
+        callback = self._cb[slot]
+        arg = self._arg[slot]
+        self._release(slot)
+        assert callback is not None
+        if arg is _NO_ARG:
+            callback()
+        else:
+            callback(arg)
         return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
@@ -182,34 +373,57 @@ class Simulator:
             raise SimulationError("run() is not reentrant")
         self._running = True
         fired = 0
+        limit = math.inf if max_events is None else max_events
+        horizon = math.inf if until is None else until
         heap = self._heap
         pop = heapq.heappop
+        flag = self._flag
+        cbs = self._cb
+        args = self._arg
+        gens = self._gen
+        free_slot = self._free.append
+        no_arg = _NO_ARG
         try:
             while heap:
-                if max_events is not None and fired >= max_events:
+                if fired >= limit:
                     break
                 head = heap[0]
-                event = head[3]
-                if event.cancelled:
+                slot = head[3]
+                if flag[slot]:
                     pop(heap)
+                    self._cancelled -= 1
+                    self._release(slot)
                     continue
                 time = head[0]
-                if until is not None and time > until:
+                if time > horizon:
                     break
                 pop(heap)
-                self._now = time
+                self.now = time
                 self._fired += 1
                 fired += 1
                 self._live -= 1
-                event.fired = True
-                event.callback()
+                callback = cbs[slot]
+                arg = args[slot]
+                # _release inlined (the hottest line in the loop); the
+                # pending flag is already 0 for a fired event.
+                gens[slot] += 1
+                cbs[slot] = None
+                args[slot] = None
+                free_slot(slot)
+                if arg is no_arg:
+                    callback()  # type: ignore[misc]
+                else:
+                    callback(arg)  # type: ignore[misc]
         finally:
             self._running = False
-        if until is not None and self._now < until:
-            self._now = until
-        return self._now
+        if until is not None and self.now < until:
+            self.now = until
+        return self.now
 
     def _drop_cancelled(self) -> None:
         heap = self._heap
-        while heap and heap[0][3].cancelled:
-            heapq.heappop(heap)
+        flag = self._flag
+        while heap and flag[heap[0][3]]:
+            slot = heapq.heappop(heap)[3]
+            self._cancelled -= 1
+            self._release(slot)

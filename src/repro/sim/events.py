@@ -1,10 +1,20 @@
-"""Event records for the discrete-event engine.
+"""The standalone event record of the discrete-event layer.
 
 An :class:`Event` couples a firing time with a callback.  Events are
 totally ordered by ``(time, priority, seq)``: the sequence number makes
 the order deterministic when several events share a firing time, and
 ``priority`` lets callers force, e.g., arrivals to be processed before
 control ticks scheduled at the same instant.
+
+Since the slotted event arena landed, :class:`repro.sim.engine.Simulator`
+no longer stores ``Event`` objects: its heap holds bare ``(time,
+priority, seq, slot)`` tuples (compared natively in C) with callbacks
+in parallel per-slot arrays.  ``Event`` remains the public record for
+code that composes event lists *outside* the engine — tests, tooling,
+and policies that shape batches before scheduling them — and its
+``__lt__`` is the reference definition of the engine's total order:
+the arena's tuple comparison and ``Event.__lt__`` must always agree,
+which ``tests/test_policy_api_and_events.py`` pins.
 
 ``Event`` is a hand-written ``__slots__`` class rather than a
 ``dataclass(order=True)``: the generated comparison built a pair of

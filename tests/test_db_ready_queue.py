@@ -161,3 +161,96 @@ def test_repush_after_remove_counted_once():
     assert len(rq.ready_queries()) == 2
     probe = query(3, deadline=9.0)
     assert rq.query_backlog_ahead_of(probe) == pytest.approx(0.75)
+
+
+# ----------------------------------------------------------------------
+# randomized oracle: incremental aggregates vs from-scratch recompute
+# ----------------------------------------------------------------------
+
+def _assert_matches_oracle(rq, live, probe):
+    """Every backlog read must equal an exact from-scratch recompute.
+
+    ``math.fsum`` is exactly rounded and the queue's fixed-point sums
+    convert with one correct rounding, so both sides round the same
+    true sum — the comparison is ``==``, not approx.
+    """
+    import math
+
+    updates = sorted(
+        (t for t in live.values() if t.is_update),
+        key=lambda t: (t.deadline, t.txn_id),
+    )
+    queries = sorted(
+        (t for t in live.values() if not t.is_update),
+        key=lambda t: (t.deadline, t.txn_id),
+    )
+    assert len(rq) == len(live)
+    assert [t.txn_id for t in rq.ready_updates()] == [t.txn_id for t in updates]
+    assert [t.txn_id for t in rq.ready_queries()] == [t.txn_id for t in queries]
+    assert rq.update_backlog() == math.fsum(t.remaining for t in updates)
+    assert rq.query_backlog() == math.fsum(t.remaining for t in queries)
+
+    key = (probe.deadline, probe.txn_id)
+    ahead = [t for t in queries if (t.deadline, t.txn_id) < key]
+    after = [t for t in queries if (t.deadline, t.txn_id) > key]
+    assert rq.query_backlog_before(probe.deadline) == math.fsum(
+        t.remaining for t in queries if t.deadline < probe.deadline
+    )
+    assert rq.query_backlog_ahead_of(probe) == math.fsum(
+        t.remaining for t in ahead
+    )
+    assert rq.backlog_ahead_of(probe) == math.fsum(
+        [t.remaining for t in updates] + [t.remaining for t in ahead]
+    )
+    assert [t.txn_id for t in rq.queries_after(probe)] == [
+        t.txn_id for t in after
+    ]
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5, 6])
+def test_incremental_backlogs_match_recompute_oracle(seed):
+    """Replay a random push/remove/pop history; after every step each
+    aggregate must equal the oracle recomputation over the live set."""
+    import random
+
+    rng = random.Random(seed)
+    rq = ReadyQueue()
+    live = {}
+    next_id = 1
+    for _ in range(400):
+        roll = rng.random()
+        if roll < 0.55 or not live:
+            exec_time = rng.uniform(0.001, 0.7)
+            if rng.random() < 0.5:
+                txn = query(next_id, deadline=rng.uniform(0.1, 8.0), exec_time=exec_time)
+            else:
+                txn = update(next_id, period=rng.uniform(0.1, 8.0), exec_time=exec_time)
+            next_id += 1
+            if rng.random() < 0.3:
+                # A preempted/restarted transaction re-enters with its
+                # remaining work below exec_time.
+                txn.remaining = exec_time * rng.random()
+            rq.push(txn)
+            live[txn.txn_id] = txn
+        elif roll < 0.8:
+            victim = live.pop(rng.choice(sorted(live)))
+            rq.remove(victim)
+        else:
+            popped = rq.pop()
+            assert popped is not None
+            assert popped.txn_id == min(
+                live,
+                key=lambda i: (
+                    not live[i].is_update,
+                    live[i].deadline,
+                    live[i].txn_id,
+                ),
+            )
+            del live[popped.txn_id]
+        # Probe with a fresh (never-pushed) query and, when possible, a
+        # queued one — both must see identical ordering semantics.
+        _assert_matches_oracle(rq, live, query(next_id, deadline=rng.uniform(0.1, 8.0)))
+        queued = [t for t in live.values() if not t.is_update]
+        if queued:
+            _assert_matches_oracle(rq, live, rng.choice(sorted(queued, key=lambda t: t.txn_id)))
+    assert next_id > 100  # the history actually exercised pushes

@@ -220,3 +220,29 @@ def test_property_cancelled_subset_never_fires(entries):
             cancelled_count += 1
     sim.run()
     assert len(fired) == len(entries) - cancelled_count
+
+
+def test_heap_size_bounded_under_heavy_cancellation():
+    """Cancel-heavy churn must not grow the raw heap without bound.
+
+    Every admitted query cancels its deadline timer on commit, so a
+    long run cancels most of what it schedules.  The compactor rebuilds
+    the heap once cancelled entries pass a small floor and outnumber
+    live ones, which bounds ``heap_size`` (lazily-deleted entries
+    included) at roughly twice ``pending`` plus the floor.
+    """
+    sim = Simulator()
+    live_timers = []
+    keep = 50
+    for i in range(20_000):
+        live_timers.append(sim.schedule(1.0 + i * 1e-3, lambda: None))
+        if len(live_timers) > keep:
+            live_timers.pop(0).cancel()
+        # Compactor invariant: cancelled entries never exceed
+        # max(live, floor), so the raw heap stays O(pending).
+        assert sim.heap_size <= 2 * sim.pending + 2 * 64
+    assert sim.pending == keep
+    assert sim.heap_size <= 2 * keep + 2 * 64
+    # The surviving timers still fire exactly once each.
+    sim.run()
+    assert sim.pending == 0
