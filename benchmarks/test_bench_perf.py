@@ -181,6 +181,68 @@ def test_bench_null_recorder_overhead(bench_scale, bench_seed):
     )
 
 
+def test_bench_span_build_throughput(bench_scale, bench_seed):
+    """Span building must keep up with the enabled-trace event stream.
+
+    One instrumented run supplies the flattened event dicts; the
+    measurement is :func:`repro.obs.spans.build_spans` alone (pure
+    post-processing — the simulation is not re-run per round).  The
+    committed ``spans.<scale>.spans_events_per_sec`` floor gates under
+    ``REPRO_BENCH_RATCHET=1`` with the usual 10% slack.
+    """
+    import dataclasses
+
+    from repro.obs.config import ObsConfig
+    from repro.obs.spans import build_spans
+
+    config = ExperimentConfig(
+        policy="unit", update_trace="med-unif", seed=bench_seed, scale=bench_scale
+    )
+    config = dataclasses.replace(
+        config,
+        obs=ObsConfig(enabled=True, keep_events=True, metrics=False, spans=False),
+    )
+    default_cache().warm([config])
+    report = run_experiment(config)
+    events = report.obs_events
+    assert events
+
+    build_spans(events)  # warmup
+    best = float("inf")
+    result = None
+    for _ in range(5):
+        started = time.perf_counter()
+        result = build_spans(events)
+        best = min(best, time.perf_counter() - started)
+    events_per_sec = len(events) / best
+    _record(
+        "spans",
+        {
+            "seed": bench_seed,
+            "trace_events": len(events),
+            "spans": len(result.spans),
+            "best_seconds": round(best, 4),
+            "spans_events_per_sec": round(events_per_sec, 1),
+        },
+    )
+
+    assert result.spans
+    assert not result.partial
+
+    if os.environ.get("REPRO_BENCH_RATCHET") != "1":
+        return
+    floor = _COMMITTED.get("spans", {}).get(_scale_name(), {}).get(
+        "spans_events_per_sec"
+    )
+    if not floor:
+        pytest.skip(f"no committed spans floor for scale {_scale_name()!r}")
+    assert events_per_sec >= floor * (1.0 - RATCHET_SLACK), (
+        f"span building {events_per_sec:,.0f} events/s fell more than "
+        f"{RATCHET_SLACK:.0%} below the committed floor {floor:,.0f} "
+        f"(scale {_scale_name()!r})"
+    )
+
+
 def test_bench_paired_grid_wall_clock(benchmark, bench_scale, bench_seed):
     reports = benchmark.pedantic(
         run_grid,

@@ -301,6 +301,12 @@ class LockManager:
             lock.holders[waiter.txn.txn_id] = (waiter.txn, waiter.mode)
             self._held_by.setdefault(waiter.txn.txn_id, set()).add(item_id)
             granted.append(waiter.txn)
+        if granted:
+            obs = self._obs
+            if obs.enabled and self._obs_sim is not None:
+                now = self._obs_sim.now
+                for grantee in granted:
+                    obs.lock_grant(now, grantee.txn_id, item_id)
         return granted
 
     # ------------------------------------------------------------------

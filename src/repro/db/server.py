@@ -37,7 +37,15 @@ from repro.db.transactions import (
     TransactionState,
     UpdateTransaction,
 )
-from repro.obs.trace import NULL_RECORDER, Recorder
+from repro.obs.trace import (
+    ENQUEUE_ADMIT,
+    ENQUEUE_GRANT,
+    ENQUEUE_PREEMPT,
+    ENQUEUE_REFRESH,
+    ENQUEUE_RESTART,
+    NULL_RECORDER,
+    Recorder,
+)
 from repro.sim.engine import Simulator
 
 Transaction = Union[QueryTransaction, UpdateTransaction]
@@ -112,11 +120,21 @@ class Server:
             self._emit_outcome: Optional[Callable[..., None]] = self.obs.query_outcome
             self._emit_apply: Optional[Callable[..., None]] = self.obs.update_apply
             self._emit_drop: Optional[Callable[..., None]] = self.obs.update_drop
+            # Scheduler lifecycle events (queue enter/exit, refresh
+            # park): the substrate of the span builder's wait-state
+            # segmentation (repro.obs.spans).  Queries only — spans are
+            # per-query and update churn would double the event volume.
+            self._emit_enqueue: Optional[Callable[..., None]] = self.obs.sched_enqueue
+            self._emit_dispatch: Optional[Callable[..., None]] = self.obs.sched_dispatch
+            self._emit_park: Optional[Callable[..., None]] = self.obs.sched_park
         else:
             self._emit_admit = None
             self._emit_outcome = None
             self._emit_apply = None
             self._emit_drop = None
+            self._emit_enqueue = None
+            self._emit_dispatch = None
+            self._emit_park = None
 
         self._running: Optional[Transaction] = None
         # Engine tokens (see Simulator.schedule_token): completion and
@@ -193,9 +211,15 @@ class Server:
         if self._query_refreshes.get(query.txn_id):
             query.state = TransactionState.BLOCKED
             self._blocked[query.txn_id] = query
+            emit = self._emit_park
+            if emit is not None:
+                emit(self.sim.now, query.txn_id)
         else:
             query.state = TransactionState.READY
             self.ready.push(query)
+            emit = self._emit_enqueue
+            if emit is not None:
+                emit(self.sim.now, query.txn_id, ENQUEUE_ADMIT)
         self._dispatch()
 
     def source_update_arrival(self, item_id: int) -> None:
@@ -461,6 +485,9 @@ class Server:
         granted = self.locks.release_all(query)
         for grantee in granted:
             self._continue_acquisition(grantee)
+        emit = self._emit_park
+        if emit is not None:
+            emit(self.sim.now, query.txn_id)
         return True
 
     def _continue_acquisition(self, txn: Transaction) -> None:
@@ -492,11 +519,19 @@ class Server:
         self._blocked.pop(txn.txn_id, None)
         txn.state = TransactionState.READY
         self.ready.push(txn)
+        if not txn.is_update:
+            emit = self._emit_enqueue
+            if emit is not None:
+                emit(self.sim.now, txn.txn_id, ENQUEUE_GRANT)
 
     def _run(self, txn: Transaction) -> None:
         now = self.sim.now
         txn.state = TransactionState.RUNNING
         txn.run_started_at = now
+        if not txn.is_update:
+            emit = self._emit_dispatch
+            if emit is not None:
+                emit(now, txn.txn_id)
         if not txn.is_update and txn.observed_freshness is None:
             # The query reads its items now (under read locks, no update
             # can commit on them until it finishes or is aborted); the
@@ -538,6 +573,10 @@ class Server:
         txn.state = TransactionState.READY
         self._running = None
         self.ready.push(txn)
+        if not txn.is_update:
+            emit = self._emit_enqueue
+            if emit is not None:
+                emit(self.sim.now, txn.txn_id, ENQUEUE_PREEMPT)
 
     def _credit_busy(self, txn: Transaction, elapsed: float) -> None:
         if txn.is_update:
@@ -596,6 +635,9 @@ class Server:
                 self._blocked.pop(query_id, None)
                 query.state = TransactionState.READY
                 self.ready.push(query)
+                emit = self._emit_enqueue
+                if emit is not None:
+                    emit(now, query_id, ENQUEUE_REFRESH)
 
     def _commit_query(self, query: QueryTransaction) -> None:
         token = self._deadline_tokens.pop(query.txn_id, None)
@@ -645,6 +687,9 @@ class Server:
             if self.config.restart_aborted_queries and self.sim.now < victim.deadline:
                 victim.state = TransactionState.READY
                 self.ready.push(victim)
+                emit = self._emit_enqueue
+                if emit is not None:
+                    emit(self.sim.now, victim.txn_id, ENQUEUE_RESTART)
             else:
                 token = self._deadline_tokens.pop(victim.txn_id, None)
                 if token is not None:

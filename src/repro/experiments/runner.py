@@ -33,6 +33,7 @@ from repro.obs.export import (
     write_trace_jsonl,
 )
 from repro.obs.metrics import RunMetrics
+from repro.obs.spans import SpanBuildResult, build_spans, write_spans_jsonl
 from repro.obs.trace import Recorder, TraceRecorder
 from repro.sim.engine import Simulator
 from repro.sim.rng import RandomStreams
@@ -82,6 +83,10 @@ class SimulationReport:
     obs_metrics: Optional[Dict[str, object]] = None
     obs_events: Optional[List[Dict[str, object]]] = None
     obs_artifacts: Optional[Dict[str, str]] = None
+    # Query-lifecycle span attribution (repro.obs.spans/attrib): the
+    # span-set summary plus wait breakdown, latency/slack percentiles,
+    # and the USM-loss ledger.  None unless ``config.obs.spans``.
+    obs_spans: Optional[Dict[str, object]] = None
 
     @property
     def success_ratio(self) -> float:
@@ -311,6 +316,7 @@ def _export_artifacts(
     recorder: TraceRecorder,
     obs_config: ObsConfig,
     config: ExperimentConfig,
+    span_result: Optional["SpanBuildResult"] = None,
 ) -> Dict[str, str]:
     """Write the configured trace/metrics artifacts for one cell.
 
@@ -331,6 +337,9 @@ def _export_artifacts(
     if "prometheus_txt" in paths and recorder.metrics is not None:
         write_prometheus(recorder.metrics, paths["prometheus_txt"])  # type: ignore[arg-type]
         written["prometheus_txt"] = str(paths["prometheus_txt"])
+    if "spans_jsonl" in paths and span_result is not None:
+        write_spans_jsonl(span_result, paths["spans_jsonl"])
+        written["spans_jsonl"] = str(paths["spans_jsonl"])
     return written
 
 
@@ -395,13 +404,26 @@ def run_experiment(config: ExperimentConfig) -> SimulationReport:
     obs_metrics: Optional[Dict[str, object]] = None
     obs_events: Optional[List[Dict[str, object]]] = None
     obs_artifacts: Optional[Dict[str, str]] = None
+    obs_spans: Optional[Dict[str, object]] = None
     if recorder is not None and config.obs is not None:
         obs_summary = recorder.summary()
         if recorder.metrics is not None:
             obs_metrics = recorder.metrics.registry.snapshot()  # type: ignore[attr-defined]
         if config.obs.keep_events:
             obs_events = recorder.event_dicts()
-        obs_artifacts = _export_artifacts(recorder, config.obs, config)
+        span_result: Optional[SpanBuildResult] = None
+        if config.obs.spans:
+            # Imported lazily above; attrib pulls the USM layer.
+            from repro.obs.attrib import attrib_report
+
+            span_result = build_spans(
+                recorder.events(), dropped=recorder.dropped
+            )
+            obs_spans = {"summary": span_result.summary()}
+            obs_spans.update(attrib_report(span_result.spans, config.profile))
+        obs_artifacts = _export_artifacts(
+            recorder, config.obs, config, span_result=span_result
+        )
 
     degradation: Optional[Dict[str, object]] = None
     if (
@@ -441,5 +463,6 @@ def run_experiment(config: ExperimentConfig) -> SimulationReport:
         obs_metrics=obs_metrics,
         obs_events=obs_events,
         obs_artifacts=obs_artifacts,
+        obs_spans=obs_spans,
     )
     return report

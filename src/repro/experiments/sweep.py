@@ -48,6 +48,34 @@ SweepKey = Tuple[str, str, str]  # (policy, trace, profile-name)
 #: Under the parallel executor, calls arrive in *completion* order.
 ProgressCallback = Callable[[SweepKey, SimulationReport, int, int], None]
 
+
+def _chain_dashboard(
+    dashboard: Optional[object],
+    progress_callback: Optional[ProgressCallback],
+) -> Optional[ProgressCallback]:
+    """Fold a dashboard's ``on_progress`` in front of a progress callback.
+
+    ``dashboard`` is duck-typed (anything with
+    ``on_progress(key, report, done, total)`` — normally a
+    :class:`repro.obs.dash.DashboardState`), so the sweep layer has no
+    import edge into the dashboard stack.
+    """
+    if dashboard is None:
+        return progress_callback
+    feed = dashboard.on_progress  # type: ignore[attr-defined]
+    if progress_callback is None:
+        return feed
+
+    inner = progress_callback
+
+    def chained(
+        key: SweepKey, report: SimulationReport, done: int, total: int
+    ) -> None:
+        feed(key, report, done, total)
+        inner(key, report, done, total)
+
+    return chained
+
 #: Environment override for the worker count (int; > 1 enables the pool
 #: from :func:`run_grid` as well).
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
@@ -130,6 +158,7 @@ def run_grid(
     base: Optional[ExperimentConfig] = None,
     progress: bool = False,
     progress_callback: Optional[ProgressCallback] = None,
+    dashboard: Optional[object] = None,
 ) -> Dict[SweepKey, SimulationReport]:
     """Run every combination and return reports keyed by
     ``(policy, trace, profile.name)``.
@@ -139,11 +168,17 @@ def run_grid(
     imply.  The shared workload is generated once per (trace, seed) via
     the workload cache, not once per cell.
 
+    ``dashboard`` is an optional live-progress sink (duck-typed:
+    ``on_progress(key, report, done, total)``, e.g. a
+    :class:`repro.obs.dash.DashboardState`); it is fed before the
+    ``progress_callback`` after every finished cell.
+
     With ``REPRO_SWEEP_WORKERS`` set above 1 the grid is delegated to
     :func:`run_grid_parallel`; results are identical either way.
     """
     if progress and progress_callback is None:
         progress_callback = _log_progress
+    progress_callback = _chain_dashboard(dashboard, progress_callback)
     env_workers = _env_workers()
     if env_workers is not None and env_workers > 1:
         return run_grid_parallel(
@@ -219,6 +254,7 @@ def run_grid_parallel(
     chunksize: Optional[int] = None,
     progress_callback: Optional[ProgressCallback] = None,
     cache_dir: Optional[str] = None,
+    dashboard: Optional[object] = None,
 ) -> Dict[SweepKey, SimulationReport]:
     """The :func:`run_grid` grid over a persistent process pool.
 
@@ -237,7 +273,11 @@ def run_grid_parallel(
             ``REPRO_WORKLOAD_CACHE`` is exported for this process and
             its workers (existing environment settings are used
             otherwise).
+        dashboard: Optional live-progress sink (duck-typed
+            ``on_progress``; see :func:`run_grid`), fed in completion
+            order from the parent process.
     """
+    progress_callback = _chain_dashboard(dashboard, progress_callback)
     configs = _grid_configs(policies, traces, profiles, scale, seed, base)
     if not configs:
         return {}

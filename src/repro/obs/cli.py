@@ -7,6 +7,10 @@ Subcommands::
     chrome      convert a JSONL trace to Chrome trace-event JSON
     controller  extract control.window snapshots as CSV
     digest      SHA-256 of the canonical JSONL bytes
+    spans       fold a trace into query-lifecycle spans (JSONL out)
+    attrib      wait-time attribution + USM-loss ledger tables
+    dash        run a sweep with the live dashboard and export the
+                page as a static HTML artifact (used by CI)
     smoke       run one instrumented cell end to end and export
                 every artifact (used by CI)
 
@@ -54,6 +58,22 @@ def _load_events(path: str) -> List[Dict[str, object]]:
     return events
 
 
+def _truncation_warning(events: List[Dict[str, object]]) -> Optional[str]:
+    """Warning text when the trace carries a ``trace.meta`` header
+    reporting ring-buffer drops (the stream is incomplete)."""
+    for event in events:
+        if event.get("kind") != "trace.meta":
+            continue
+        dropped = event.get("dropped")
+        if isinstance(dropped, int) and dropped > 0:
+            return (
+                f"WARNING: trace is truncated — the recorder ring dropped "
+                f"{dropped} events (oldest first); analyses over this file "
+                "are partial"
+            )
+    return None
+
+
 def _cmd_summary(args: argparse.Namespace) -> int:
     events = _load_events(args.trace)
     by_kind: Dict[str, int] = {}
@@ -67,6 +87,9 @@ def _cmd_summary(args: argparse.Namespace) -> int:
             t_min = t if t_min is None else min(t_min, t)
             t_max = t if t_max is None else max(t_max, t)
     print(f"{args.trace}: {len(events)} events")
+    warning = _truncation_warning(events)
+    if warning is not None:
+        print(f"  {warning}", file=sys.stderr)
     if t_min is not None and t_max is not None:
         print(f"  sim-time span: {t_min:.3f}s .. {t_max:.3f}s")
     for kind in sorted(by_kind):
@@ -114,6 +137,125 @@ def _cmd_controller(args: argparse.Namespace) -> int:
 
 def _cmd_digest(args: argparse.Namespace) -> int:
     print(f"{trace_digest(_load_events(args.trace))}  {args.trace}")
+    return 0
+
+
+def _cmd_spans(args: argparse.Namespace) -> int:
+    from repro.obs.spans import build_spans, render_spans_jsonl, write_spans_jsonl
+
+    events = _load_events(args.trace)
+    warning = _truncation_warning(events)
+    if warning is not None:
+        print(warning, file=sys.stderr)
+    result = build_spans(events)
+    if args.out:
+        count = write_spans_jsonl(result, args.out)
+        print(f"wrote {count} spans to {args.out}")
+    else:
+        sys.stdout.write(render_spans_jsonl(result))
+    summary = result.summary()
+    if result.partial:
+        print(
+            f"note: span output is PARTIAL (trace dropped {result.dropped} "
+            "events)",
+            file=sys.stderr,
+        )
+    if summary["skipped"]:
+        print(f"note: skipped events {summary['skipped']}", file=sys.stderr)
+    return 0
+
+
+def _cmd_attrib(args: argparse.Namespace) -> int:
+    from repro.core.usm import TABLE2_PROFILES, PenaltyProfile
+    from repro.obs.attrib import (
+        attrib_report,
+        ledger_table,
+        percentile_table,
+        wait_table,
+    )
+    from repro.obs.spans import build_spans
+
+    if args.profile == "naive":
+        profile = PenaltyProfile.naive()
+    elif args.profile in TABLE2_PROFILES:
+        profile = TABLE2_PROFILES[args.profile]
+    else:
+        choices = ", ".join(["naive"] + sorted(TABLE2_PROFILES))
+        raise SystemExit(f"unknown profile {args.profile!r} (choices: {choices})")
+
+    events = _load_events(args.trace)
+    warning = _truncation_warning(events)
+    if warning is not None:
+        print(warning, file=sys.stderr)
+    result = build_spans(events)
+    report = attrib_report(result.spans, profile)
+    title_suffix = " (PARTIAL trace)" if result.partial else ""
+    print(wait_table(report["waits"], title=f"Wait breakdown{title_suffix}"))
+    print()
+    print(percentile_table(report["percentiles"]))
+    print()
+    print(ledger_table(report["ledger"]))
+    if args.json:
+        from repro.experiments.report import json_sanitize
+
+        report["spans_summary"] = result.summary()
+        Path(args.json).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.json).write_text(
+            json.dumps(json_sanitize(report), indent=2, sort_keys=True),
+            encoding="utf-8",
+        )
+        print(f"wrote JSON report to {args.json}")
+    return 0
+
+
+def _cmd_dash(args: argparse.Namespace) -> int:
+    # Heavy imports deferred, as in smoke.
+    from repro.core.usm import PenaltyProfile
+    from repro.experiments.config import SCALES, ExperimentConfig
+    from repro.experiments.sweep import run_grid
+    from repro.obs.config import ObsConfig
+    from repro.obs.dash import DashboardServer, DashboardState, render_static_html
+
+    policies = [name.strip() for name in args.policies.split(",") if name.strip()]
+    traces = [name.strip() for name in args.traces.split(",") if name.strip()]
+    scale = SCALES[args.scale]
+    base = ExperimentConfig(
+        policy=policies[0],
+        update_trace=traces[0],
+        seed=args.seed,
+        scale=scale,
+        obs=ObsConfig(enabled=True, keep_events=True, metrics=False),
+    )
+    state = DashboardState(
+        title=f"{args.scale} sweep: {','.join(policies)} × {','.join(traces)}"
+    )
+    server: Optional[DashboardServer] = None
+    if args.serve:
+        server = DashboardServer(state, port=args.port).start()
+        print(f"dashboard live at {server.url}")
+    run_grid(
+        policies,
+        traces,
+        [PenaltyProfile.naive()],
+        scale,
+        seed=args.seed,
+        base=base,
+        dashboard=state,
+    )
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(render_static_html(state), encoding="utf-8")
+    print(f"wrote static dashboard to {out}")
+    if server is not None:
+        if args.hold:
+            print("sweep complete; serving until interrupted (Ctrl-C)")
+            import threading
+
+            try:
+                threading.Event().wait()
+            except KeyboardInterrupt:
+                pass
+        server.stop()
     return 0
 
 
@@ -180,6 +322,48 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p = sub.add_parser("digest", help="SHA-256 of the canonical JSONL bytes")
     p.add_argument("trace", help="JSONL trace file")
     p.set_defaults(func=_cmd_digest)
+
+    p = sub.add_parser(
+        "spans", help="fold a trace into query-lifecycle spans (JSONL)"
+    )
+    p.add_argument("trace", help="JSONL trace file")
+    p.add_argument("--out", help="write span JSONL here instead of stdout")
+    p.set_defaults(func=_cmd_spans)
+
+    p = sub.add_parser(
+        "attrib", help="wait-time attribution + USM-loss ledger tables"
+    )
+    p.add_argument("trace", help="JSONL trace file")
+    p.add_argument(
+        "--profile",
+        default="naive",
+        help="penalty profile: naive (default) or a Table-2 key",
+    )
+    p.add_argument("--json", help="also write the full report as JSON here")
+    p.set_defaults(func=_cmd_attrib)
+
+    p = sub.add_parser(
+        "dash", help="run a sweep with the live dashboard, export static HTML"
+    )
+    p.add_argument("--scale", default="smoke", help="scale preset (default: smoke)")
+    p.add_argument(
+        "--policies", default="unit,odu", help="comma-separated policy names"
+    )
+    p.add_argument(
+        "--traces", default="low-unif,med-unif", help="comma-separated trace names"
+    )
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--out", required=True, help="static HTML output path")
+    p.add_argument(
+        "--serve", action="store_true", help="serve the live dashboard too"
+    )
+    p.add_argument("--port", type=int, default=0, help="port for --serve (0=auto)")
+    p.add_argument(
+        "--hold",
+        action="store_true",
+        help="with --serve: keep serving after the sweep until Ctrl-C",
+    )
+    p.set_defaults(func=_cmd_dash)
 
     p = sub.add_parser(
         "smoke", help="run one instrumented cell and export every artifact"

@@ -34,11 +34,16 @@ class ObsConfig:
         metrics: Also fold events into a metrics registry.
         keep_events: Attach the flattened event dicts to the
             ``SimulationReport`` (for tests/CLI use; large).
+        spans: Fold the trace into query-lifecycle spans after the run
+            (:mod:`repro.obs.spans`) and attach the wait-attribution
+            digest to ``SimulationReport.obs_spans``.
         out_dir: Directory for per-cell exports.  When set, the runner
             writes ``<stem>.trace.jsonl``, ``<stem>.chrome.json``,
-            ``<stem>.controller.csv``, and ``<stem>.prom.txt`` where
-            ``<stem>`` is the sanitized cell label + seed.
-        trace_jsonl / chrome_json / controller_csv / prometheus_txt:
+            ``<stem>.controller.csv``, ``<stem>.prom.txt``, and (with
+            ``spans``) ``<stem>.spans.jsonl`` where ``<stem>`` is the
+            sanitized cell label + seed.
+        trace_jsonl / chrome_json / controller_csv / prometheus_txt /
+        spans_jsonl:
             Explicit output paths; each overrides the ``out_dir``
             derivation for that one artifact.
     """
@@ -47,14 +52,16 @@ class ObsConfig:
     capacity: int = 262_144
     metrics: bool = True
     keep_events: bool = False
+    spans: bool = True
     out_dir: Optional[str] = None
     trace_jsonl: Optional[str] = None
     chrome_json: Optional[str] = None
     controller_csv: Optional[str] = None
     prometheus_txt: Optional[str] = None
+    spans_jsonl: Optional[str] = None
 
     def export_paths(self, label: str, seed: int) -> dict:
-        """Resolve the four artifact paths for one cell (or {}).
+        """Resolve the artifact paths for one cell (or {}).
 
         Explicit per-artifact paths always win; otherwise paths are
         derived from ``out_dir``.  Artifacts with no resolvable path
@@ -68,6 +75,7 @@ class ObsConfig:
             ("chrome_json", self.chrome_json, f"{stem}.chrome.json"),
             ("controller_csv", self.controller_csv, f"{stem}.controller.csv"),
             ("prometheus_txt", self.prometheus_txt, f"{stem}.prom.txt"),
+            ("spans_jsonl", self.spans_jsonl, f"{stem}.spans.jsonl"),
         )
         for key, explicit, default_name in pairs:
             if explicit is not None:

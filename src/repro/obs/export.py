@@ -24,8 +24,9 @@ import csv
 import hashlib
 import io
 import json
+import math
 from pathlib import Path
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.obs import trace as _trace
 from repro.obs.metrics import Histogram, MetricsRegistry, RunMetrics
@@ -53,7 +54,11 @@ _LANE_BY_KIND = {
     _trace.ADMISSION_DECISION: _TID_SERVER,
     _trace.UPDATE_APPLY: _TID_SERVER,
     _trace.UPDATE_DROP: _TID_SERVER,
+    _trace.SCHED_ENQUEUE: _TID_SERVER,
+    _trace.SCHED_DISPATCH: _TID_SERVER,
+    _trace.SCHED_PARK: _TID_SERVER,
     _trace.LOCK_WAIT: _TID_LOCKS,
+    _trace.LOCK_GRANT: _TID_LOCKS,
     _trace.LOCK_PREEMPT: _TID_LOCKS,
     _trace.MODULATION_CHANGE: _TID_CONTROLLER,
     _trace.CONTROL_ALLOCATE: _TID_CONTROLLER,
@@ -73,9 +78,40 @@ def _dump_line(event: EventDict) -> str:
     return json.dumps(event, sort_keys=True, separators=(",", ":"))
 
 
+def truncation_header(source: EventSource) -> Optional[Dict[str, object]]:
+    """``trace.meta`` header when the ring buffer dropped events.
+
+    None for complete traces (the common case), so their JSONL bytes —
+    and therefore every historical :func:`trace_digest` — are
+    unchanged.  Consumers (span builder, ``obs summary``) read the
+    header to mark their output partial instead of silently analyzing
+    a truncated stream.
+    """
+    dropped = getattr(source, "dropped", 0)
+    if not dropped:
+        return None
+    header: Dict[str, object] = {"kind": _trace.TRACE_META, "dropped": dropped}
+    counts = getattr(source, "counts", None)
+    if counts:
+        header["recorded"] = sum(counts.values())
+    try:
+        header["retained"] = len(source)  # type: ignore[arg-type]
+    except TypeError:
+        pass
+    return header
+
+
 def render_trace_jsonl(source: EventSource) -> str:
-    """The full JSONL text for a trace (one event per line)."""
+    """The full JSONL text for a trace (one event per line).
+
+    When the source recorder reports dropped events, a ``trace.meta``
+    header line leads the dump so downstream consumers know the stream
+    is truncated.
+    """
     lines = [_dump_line(event) for event in _event_dicts(source)]
+    header = truncation_header(source)
+    if header is not None:
+        lines.insert(0, _dump_line(header))
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -84,7 +120,11 @@ def write_trace_jsonl(source: EventSource, path: Union[str, Path]) -> int:
     events = _event_dicts(source)
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
+    header = truncation_header(source)
     with target.open("w", encoding="utf-8") as fh:
+        if header is not None:
+            fh.write(_dump_line(header))
+            fh.write("\n")
         for event in events:
             fh.write(_dump_line(event))
             fh.write("\n")
@@ -127,6 +167,8 @@ def chrome_trace_events(source: EventSource) -> List[Dict[str, object]]:
         )
     for event in _event_dicts(source):
         kind = str(event.get("kind", ""))
+        if kind == _trace.TRACE_META:
+            continue  # synthetic truncation header, not a sim event
         tid = _LANE_BY_KIND.get(kind, _TID_SERVER)
         t_us = float(event.get("t", 0.0)) * _SEC_TO_US
         args = {
@@ -244,17 +286,69 @@ def write_controller_csv(source: EventSource, path: Union[str, Path]) -> int:
     return len(rows)
 
 
+#: Quantiles published for every histogram (as ``<name>_quantile`` lines).
+PROM_QUANTILES: Tuple[float, ...] = (0.5, 0.9, 0.99)
+
+
 def _prom_number(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
     if value == int(value) and abs(value) < 1e15:
         return str(int(value))
     return repr(value)
 
 
+def _prom_escape(value: object) -> str:
+    """Escape a label value per the text exposition format (backslash,
+    double-quote, and newline are the only escapable characters)."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _prom_labels(labels: Sequence, extra: str = "") -> str:
-    parts = [f'{key}="{value}"' for key, value in labels]
+    parts = [f'{key}="{_prom_escape(value)}"' for key, value in labels]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def histogram_quantile(hist: Histogram, fraction: float) -> Optional[float]:
+    """Estimate a quantile from fixed buckets, Prometheus-style.
+
+    Linear interpolation inside the bucket that crosses the rank
+    ``fraction * count``; the lower bound of the first bucket is the
+    observed minimum (we record real values, not the non-negative
+    quantities Prometheus assumes).  A rank landing in the overflow
+    (+Inf) bucket falls back to the highest finite edge — the estimate
+    Prometheus itself reports.  Returns None for an empty histogram.
+    """
+    count = hist.stats.count
+    if count == 0:
+        return None
+    rank = fraction * count
+    running = 0
+    for index, bucket_count in enumerate(hist.bucket_counts):
+        previous = running
+        running += bucket_count
+        if running < rank or bucket_count == 0:
+            continue
+        if index >= len(hist.edges):  # overflow bucket
+            return hist.edges[-1]
+        upper = hist.edges[index]
+        if index == 0:
+            lower = min(hist.stats.minimum, upper)
+        else:
+            lower = hist.edges[index - 1]
+        if math.isinf(upper):  # defensive: an explicit +Inf edge
+            return lower
+        return lower + (upper - lower) * (rank - previous) / bucket_count
+    return hist.edges[-1]  # pragma: no cover - ranks always land above
 
 
 def render_prometheus(
@@ -282,6 +376,16 @@ def render_prometheus(
             plain = _prom_labels(inst.labels)
             lines.append(f"{inst.name}_sum{plain} {_prom_number(inst.total)}")
             lines.append(f"{inst.name}_count{plain} {inst.stats.count}")
+            for fraction in PROM_QUANTILES:
+                estimate = histogram_quantile(inst, fraction)
+                if estimate is None:
+                    continue
+                q_labels = _prom_labels(
+                    inst.labels, f'quantile="{_prom_number(fraction)}"'
+                )
+                lines.append(
+                    f"{inst.name}_quantile{q_labels} {_prom_number(estimate)}"
+                )
         else:
             plain = _prom_labels(inst.labels)
             lines.append(f"{inst.name}{plain} {_prom_number(inst.value)}")

@@ -1,0 +1,607 @@
+"""Query-lifecycle spans: per-query wait-state segmentation.
+
+The trace stream (:mod:`repro.obs.trace`) records *point* events.  This
+module folds them into one **span** per query — the full lifecycle
+``admitted → queued → lock-wait → executing → (preempted)* → outcome``
+— with every simulated instant between admission and outcome assigned
+to exactly one wait state:
+
+=================  ====================================================
+``queued``         in the ready queue (EDF order, behind updates)
+``lock-wait``      blocked behind a 2PL-HP lock
+``refresh-wait``   parked while on-demand refreshes commit (ODU)
+``executing``      on the CPU (including work later lost to restarts)
+=================  ====================================================
+
+**Exactness contract.**  Segments are contiguous by construction
+(each closes at the timestamp the next opens), so in the integer
+fixed-point mirror (:mod:`repro.core.fixedpoint`, units of 2**-1074)
+their durations telescope: the sum over a completed span equals
+``fixed(end) − fixed(admit)`` *exactly* — not approximately, to the
+ulp.  The builder asserts this invariant for every span it finalizes.
+
+**USM attribution.**  Each span names the Eq. 5 component its outcome
+feeds (``S`` / ``R`` / ``F_m`` / ``F_s``) and a ``cause``: rejections
+carry the admission controller's reason, deadline misses carry the
+dominant wait state that consumed the slack (or ``service``), stale
+reads carry ``stale-read``.  Fault windows overlapping a failed span
+are listed so injected degradation is attributable.
+
+Malformed streams (ring-buffer truncation, orphan outcomes, sched
+events for unknown queries) never raise: the builder skips and counts
+(:attr:`SpanBuildResult.skipped`), and marks the output *partial* when
+the recorder reports dropped events.
+
+All timestamps are simulated time; this module never reads the wall
+clock (simlint SL002 patrols it like any other simulation component).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.core.fixedpoint import fixed_from_float, float_from_fixed
+from repro.obs import trace as _trace
+
+# Wait states (the ``state`` field of every segment).
+STATE_QUEUED = "queued"
+STATE_LOCK_WAIT = "lock-wait"
+STATE_REFRESH_WAIT = "refresh-wait"
+STATE_EXECUTING = "executing"
+
+#: Segment states in presentation (and tie-break) order.
+WAIT_STATES: Tuple[str, ...] = (
+    STATE_QUEUED,
+    STATE_LOCK_WAIT,
+    STATE_REFRESH_WAIT,
+    STATE_EXECUTING,
+)
+
+#: Bootstrap state between ``query.admit`` and the first scheduler
+#: event.  Both fire at the same simulated instant, so this segment is
+#: always zero-length and is dropped from the output.
+_STATE_ADMITTED = "admitted"
+
+# USM components (Eq. 5) a span's outcome feeds.
+COMPONENT_BY_OUTCOME: Dict[str, str] = {
+    "success": "S",
+    "rejected": "R",
+    "dmf": "F_m",
+    "dsf": "F_s",
+}
+
+# Skip-counter categories (malformed / truncated streams).
+SKIP_ORPHAN_OUTCOME = "orphan_outcome"  # non-rejection outcome, no admit
+SKIP_ORPHAN_SCHED = "orphan_sched"  # sched.* for an unknown query
+SKIP_ORPHAN_LOCK = "orphan_lock"  # lock wait/grant for an unknown txn
+SKIP_DUPLICATE_ADMIT = "duplicate_admit"
+SKIP_UNFINISHED = "unfinished"  # admitted, no outcome by stream end
+
+SKIP_CATEGORIES: Tuple[str, ...] = (
+    SKIP_ORPHAN_OUTCOME,
+    SKIP_ORPHAN_SCHED,
+    SKIP_ORPHAN_LOCK,
+    SKIP_DUPLICATE_ADMIT,
+    SKIP_UNFINISHED,
+)
+
+
+class Segment:
+    """One contiguous wait-state interval of a span."""
+
+    __slots__ = ("state", "start", "end")
+
+    def __init__(self, state: str, start: float, end: float) -> None:
+        self.state = state
+        self.start = start
+        self.end = end
+
+    @property
+    def duration(self) -> float:
+        """Correctly-rounded float of the exact fixed-point duration."""
+        return float_from_fixed(fixed_from_float(self.end) - fixed_from_float(self.start))
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "state": self.state,
+            "t0": self.start,
+            "t1": self.end,
+            "dur": self.duration,
+        }
+
+    def __repr__(self) -> str:
+        return f"Segment({self.state!r}, {self.start:.6f}..{self.end:.6f})"
+
+
+class QuerySpan:
+    """One query's complete lifecycle.
+
+    ``admit`` is ``None`` for rejection spans (the query never entered
+    the system; its span is the admission verdict alone).  ``waits``
+    maps every wait state to its exact total (floats of fixed-point
+    sums); ``lock_items`` attributes lock-wait time to the items that
+    caused it.
+    """
+
+    __slots__ = (
+        "txn",
+        "arrival",
+        "admit",
+        "end",
+        "outcome",
+        "deadline",
+        "freshness",
+        "restarts",
+        "preemptions",
+        "segments",
+        "waits",
+        "lock_items",
+        "usm_component",
+        "cause",
+        "faults",
+    )
+
+    def __init__(
+        self,
+        txn: int,
+        arrival: Optional[float],
+        admit: Optional[float],
+        end: float,
+        outcome: str,
+        deadline: Optional[float],
+        freshness: Optional[float],
+        restarts: int,
+        preemptions: int,
+        segments: List[Segment],
+        waits: Dict[str, float],
+        lock_items: Dict[int, float],
+        usm_component: str,
+        cause: Optional[str],
+        faults: List[str],
+    ) -> None:
+        self.txn = txn
+        self.arrival = arrival
+        self.admit = admit
+        self.end = end
+        self.outcome = outcome
+        self.deadline = deadline
+        self.freshness = freshness
+        self.restarts = restarts
+        self.preemptions = preemptions
+        self.segments = segments
+        self.waits = waits
+        self.lock_items = lock_items
+        self.usm_component = usm_component
+        self.cause = cause
+        self.faults = faults
+
+    @property
+    def duration(self) -> float:
+        """admit → outcome (0.0 for rejection spans)."""
+        if self.admit is None:
+            return 0.0
+        return float_from_fixed(
+            fixed_from_float(self.end) - fixed_from_float(self.admit)
+        )
+
+    @property
+    def slack(self) -> Optional[float]:
+        """Deadline minus outcome time (negative: the deadline passed)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - self.end
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten for the JSONL dump (keys sorted at dump time)."""
+        return {
+            "txn": self.txn,
+            "arrival": self.arrival,
+            "admit": self.admit,
+            "end": self.end,
+            "outcome": self.outcome,
+            "deadline": self.deadline,
+            "freshness": self.freshness,
+            "restarts": self.restarts,
+            "preemptions": self.preemptions,
+            "segments": [seg.as_dict() for seg in self.segments],
+            "waits": {state: self.waits.get(state, 0.0) for state in WAIT_STATES},
+            "lock_items": {str(item): dur for item, dur in sorted(self.lock_items.items())},
+            "usm_component": self.usm_component,
+            "cause": self.cause,
+            "faults": self.faults,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"QuerySpan(txn={self.txn}, outcome={self.outcome!r}, "
+            f"{len(self.segments)} segments)"
+        )
+
+
+class SpanBuildResult:
+    """Output of :func:`build_spans`.
+
+    Attributes:
+        spans: Finalized spans in outcome order (the trace's own order).
+        skipped: Per-category counts of events/queries the builder had
+            to skip (see the ``SKIP_*`` constants); all zero on a
+            well-formed complete stream.
+        dropped: Ring-buffer drop count from the trace header, if any.
+        partial: True when the stream is known to be incomplete
+            (``dropped > 0``): spans near the truncation boundary may
+            be missing and skip counts are expected to be non-zero.
+    """
+
+    __slots__ = ("spans", "skipped", "dropped", "partial")
+
+    def __init__(
+        self,
+        spans: List[QuerySpan],
+        skipped: Dict[str, int],
+        dropped: int,
+        partial: bool,
+    ) -> None:
+        self.spans = spans
+        self.skipped = skipped
+        self.dropped = dropped
+        self.partial = partial
+
+    @property
+    def total_skipped(self) -> int:
+        return sum(self.skipped.values())
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "spans": len(self.spans),
+            "skipped": {k: v for k, v in sorted(self.skipped.items()) if v},
+            "dropped": self.dropped,
+            "partial": self.partial,
+        }
+
+
+class _OpenSpan:
+    """Mutable per-query tracker while its span is still open."""
+
+    __slots__ = (
+        "txn",
+        "admit",
+        "deadline",
+        "state",
+        "state_start",
+        "segments",
+        "wait_fixed",
+        "preemptions",
+        "lock_item",
+        "lock_start",
+        "lock_fixed",
+    )
+
+    def __init__(self, txn: int, admit: float, deadline: Optional[float]) -> None:
+        self.txn = txn
+        self.admit = admit
+        self.deadline = deadline
+        self.state = _STATE_ADMITTED
+        self.state_start = admit
+        self.segments: List[Segment] = []
+        self.wait_fixed: Dict[str, int] = {}
+        self.preemptions = 0
+        # Current lock wait being attributed (item id, start time).
+        self.lock_item: Optional[int] = None
+        self.lock_start = 0.0
+        self.lock_fixed: Dict[int, int] = {}
+
+    def transition(self, now: float, new_state: str) -> None:
+        """Close the current segment at ``now`` and enter ``new_state``."""
+        self._close(now)
+        self.state = new_state
+        self.state_start = now
+
+    def _close(self, now: float) -> None:
+        state = self.state
+        start = self.state_start
+        if state is not _STATE_ADMITTED and now > start:
+            self.segments.append(Segment(state, start, now))
+            dur = fixed_from_float(now) - fixed_from_float(start)
+            self.wait_fixed[state] = self.wait_fixed.get(state, 0) + dur
+        elif state is not _STATE_ADMITTED and now == start:
+            # Zero-length segments (same-instant transitions) are
+            # dropped; the telescoping sum is unaffected.
+            pass
+
+    def begin_lock_wait(self, now: float, item: int) -> None:
+        self.end_lock_wait(now)  # a new wait supersedes any open one
+        self.lock_item = item
+        self.lock_start = now
+
+    def end_lock_wait(self, now: float) -> None:
+        item = self.lock_item
+        if item is None:
+            return
+        dur = fixed_from_float(now) - fixed_from_float(self.lock_start)
+        if dur > 0:
+            self.lock_fixed[item] = self.lock_fixed.get(item, 0) + dur
+        self.lock_item = None
+
+    def finalize(self, now: float) -> Tuple[List[Segment], Dict[str, float], Dict[int, float]]:
+        """Close the span at ``now`` and verify the exactness contract."""
+        self._close(now)
+        self.end_lock_wait(now)
+        total = sum(self.wait_fixed.values())
+        expected = fixed_from_float(now) - fixed_from_float(self.admit)
+        if total != expected:  # pragma: no cover - invariant by construction
+            raise AssertionError(
+                f"span {self.txn}: segment sum {total} != duration {expected} "
+                "(fixed-point units)"
+            )
+        waits = {state: float_from_fixed(fx) for state, fx in self.wait_fixed.items()}
+        lock_items = {item: float_from_fixed(fx) for item, fx in self.lock_fixed.items()}
+        return self.segments, waits, lock_items
+
+
+def _failure_cause(wait_fixed: Mapping[str, int]) -> str:
+    """Deterministic dominant-state attribution for a deadline miss.
+
+    The state that consumed the most of the span (exact fixed-point
+    compare, ties broken in :data:`WAIT_STATES` order).  ``executing``
+    dominance reads as ``service`` — the query had the CPU but not
+    enough of it.
+    """
+    best_state = STATE_QUEUED
+    best = -1
+    for state in WAIT_STATES:
+        dur = wait_fixed.get(state, 0)
+        if dur > best:
+            best = dur
+            best_state = state
+    if best_state == STATE_EXECUTING:
+        return "service"
+    return f"wait:{best_state}"
+
+
+EventLike = Union[Mapping[str, object], "_trace.TraceEvent"]
+
+
+def _iter_event_tuples(
+    events: Iterable[EventLike],
+) -> Iterable[Tuple[float, str, Mapping[str, object]]]:
+    """Normalize trace events / JSONL dicts to ``(t, kind, fields)``."""
+    for event in events:
+        if isinstance(event, _trace.TraceEvent):
+            yield event.time, event.kind, event.fields
+        else:
+            yield (
+                float(event.get("t", 0.0)),  # type: ignore[arg-type]
+                str(event.get("kind", "")),
+                event,
+            )
+
+
+def build_spans(
+    events: Iterable[EventLike],
+    dropped: int = 0,
+) -> SpanBuildResult:
+    """Fold a trace stream into per-query lifecycle spans.
+
+    Args:
+        events: Trace events in emit order — :class:`TraceEvent`
+            objects (e.g. ``recorder.events()``) or flattened dicts
+            (e.g. parsed JSONL lines).  A leading ``trace.meta`` header
+            contributes its ``dropped`` count.
+        dropped: Ring-buffer drop count when the caller knows it
+            out-of-band (e.g. from a live :class:`TraceRecorder`).
+
+    Returns:
+        A :class:`SpanBuildResult`; never raises on malformed input.
+    """
+    open_spans: Dict[int, _OpenSpan] = {}
+    spans: List[QuerySpan] = []
+    skipped: Dict[str, int] = {category: 0 for category in SKIP_CATEGORIES}
+    # txn -> admission rejection reason (attribution for R spans).
+    reject_reasons: Dict[int, str] = {}
+    # Fault windows: label -> (start, end-or-None, fault type).
+    fault_open: Dict[str, float] = {}
+    fault_windows: List[Tuple[float, Optional[float], str]] = []
+    total_dropped = dropped
+
+    for now, kind, fields in _iter_event_tuples(events):
+        if kind == _trace.QUERY_ADMIT:
+            txn = int(fields["txn"])  # type: ignore[index]
+            if txn in open_spans:
+                skipped[SKIP_DUPLICATE_ADMIT] += 1
+                continue
+            deadline = fields.get("deadline")
+            open_spans[txn] = _OpenSpan(
+                txn,
+                now,
+                float(deadline) if isinstance(deadline, (int, float)) else None,
+            )
+        elif kind == _trace.SCHED_ENQUEUE:
+            txn = int(fields["txn"])  # type: ignore[index]
+            span = open_spans.get(txn)
+            if span is None:
+                skipped[SKIP_ORPHAN_SCHED] += 1
+                continue
+            cause = fields.get("cause")
+            if cause == _trace.ENQUEUE_PREEMPT:
+                span.preemptions += 1
+            if span.state == STATE_LOCK_WAIT:
+                span.end_lock_wait(now)
+            span.transition(now, STATE_QUEUED)
+        elif kind == _trace.SCHED_DISPATCH:
+            txn = int(fields["txn"])  # type: ignore[index]
+            span = open_spans.get(txn)
+            if span is None:
+                skipped[SKIP_ORPHAN_SCHED] += 1
+                continue
+            span.transition(now, STATE_EXECUTING)
+        elif kind == _trace.SCHED_PARK:
+            txn = int(fields["txn"])  # type: ignore[index]
+            span = open_spans.get(txn)
+            if span is None:
+                skipped[SKIP_ORPHAN_SCHED] += 1
+                continue
+            span.transition(now, STATE_REFRESH_WAIT)
+        elif kind == _trace.LOCK_WAIT:
+            if fields.get("update"):
+                continue  # update transactions have no spans
+            txn = int(fields["txn"])  # type: ignore[index]
+            span = open_spans.get(txn)
+            if span is None:
+                skipped[SKIP_ORPHAN_LOCK] += 1
+                continue
+            item = fields.get("item")
+            span.transition(now, STATE_LOCK_WAIT)
+            if isinstance(item, int):
+                span.begin_lock_wait(now, item)
+        elif kind == _trace.LOCK_GRANT:
+            txn = int(fields["txn"])  # type: ignore[index]
+            span = open_spans.get(txn)
+            if span is None:
+                # Updates are granted locks too; only count queries we
+                # have genuinely lost track of (lock state, no span).
+                continue
+            span.end_lock_wait(now)
+        elif kind == _trace.QUERY_OUTCOME:
+            txn = int(fields["txn"])  # type: ignore[index]
+            outcome = str(fields.get("outcome", ""))
+            freshness = fields.get("freshness")
+            arrival = fields.get("arrival")
+            restarts = fields.get("restarts", 0)
+            span = open_spans.pop(txn, None)
+            if span is None:
+                if outcome != "rejected":
+                    skipped[SKIP_ORPHAN_OUTCOME] += 1
+                    continue
+                # Rejection spans: no lifecycle, just the verdict.
+                spans.append(
+                    QuerySpan(
+                        txn=txn,
+                        arrival=float(arrival) if isinstance(arrival, (int, float)) else None,
+                        admit=None,
+                        end=now,
+                        outcome=outcome,
+                        deadline=None,
+                        freshness=None,
+                        restarts=0,
+                        preemptions=0,
+                        segments=[],
+                        waits={},
+                        lock_items={},
+                        usm_component="R",
+                        cause=reject_reasons.pop(txn, "admission"),
+                        faults=_overlapping_faults(fault_windows, fault_open, now, now),
+                    )
+                )
+                continue
+            segments, waits, lock_items = span.finalize(now)
+            component = COMPONENT_BY_OUTCOME.get(outcome, "S")
+            cause: Optional[str]
+            if outcome == "success":
+                cause = None
+            elif outcome == "dmf":
+                cause = _failure_cause(span.wait_fixed)
+            elif outcome == "dsf":
+                cause = "stale-read"
+            else:
+                cause = outcome
+            faults: List[str] = []
+            if outcome != "success":
+                faults = _overlapping_faults(
+                    fault_windows, fault_open, span.admit, now
+                )
+            spans.append(
+                QuerySpan(
+                    txn=txn,
+                    arrival=float(arrival) if isinstance(arrival, (int, float)) else None,
+                    admit=span.admit,
+                    end=now,
+                    outcome=outcome,
+                    deadline=span.deadline,
+                    freshness=float(freshness) if isinstance(freshness, (int, float)) else None,
+                    restarts=int(restarts) if isinstance(restarts, (int, float)) else 0,
+                    preemptions=span.preemptions,
+                    segments=segments,
+                    waits=waits,
+                    lock_items=lock_items,
+                    usm_component=component,
+                    cause=cause,
+                    faults=faults,
+                )
+            )
+        elif kind == _trace.ADMISSION_DECISION:
+            if fields.get("admitted") is False:
+                txn = int(fields["txn"])  # type: ignore[index]
+                reason = fields.get("reason")
+                if isinstance(reason, str) and reason:
+                    reject_reasons[txn] = reason
+        elif kind == _trace.FAULT_START:
+            label = str(fields.get("label", ""))
+            fault_open[label] = now
+        elif kind == _trace.FAULT_END:
+            label = str(fields.get("label", ""))
+            start = fault_open.pop(label, None)
+            if start is not None:
+                fault_windows.append((start, now, label))
+        elif kind == _trace.TRACE_META:
+            meta_dropped = fields.get("dropped")
+            if isinstance(meta_dropped, int):
+                total_dropped += meta_dropped
+
+    skipped[SKIP_UNFINISHED] = len(open_spans)
+    return SpanBuildResult(
+        spans=spans,
+        skipped=skipped,
+        dropped=total_dropped,
+        partial=total_dropped > 0,
+    )
+
+
+def _overlapping_faults(
+    closed: List[Tuple[float, Optional[float], str]],
+    still_open: Dict[str, float],
+    start: Optional[float],
+    end: float,
+) -> List[str]:
+    """Labels of fault windows overlapping ``[start, end]`` (sorted)."""
+    lo = start if start is not None else end
+    labels = [
+        label
+        for w_start, w_end, label in closed
+        if w_start <= end and (w_end is None or w_end >= lo)
+    ]
+    labels.extend(label for label, w_start in still_open.items() if w_start <= end)
+    return sorted(set(labels))
+
+
+# ----------------------------------------------------------------------
+# serialization (canonical, deterministic — mirrors export.py's JSONL)
+# ----------------------------------------------------------------------
+
+
+def _dump_line(payload: Mapping[str, object]) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def render_spans_jsonl(result: SpanBuildResult) -> str:
+    """Canonical JSONL: a header line, then one span per line."""
+    header: Dict[str, object] = {"kind": "spans.meta"}
+    header.update(result.summary())
+    lines = [_dump_line(header)]
+    lines.extend(_dump_line(span.as_dict()) for span in result.spans)
+    return "\n".join(lines) + "\n"
+
+
+def write_spans_jsonl(result: SpanBuildResult, path: Union[str, Path]) -> int:
+    """Write the span JSONL dump; returns the number of spans."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(render_spans_jsonl(result), encoding="utf-8")
+    return len(result.spans)
+
+
+def spans_digest(result: SpanBuildResult) -> str:
+    """SHA-256 of the canonical span JSONL (determinism contract)."""
+    return hashlib.sha256(render_spans_jsonl(result).encode("utf-8")).hexdigest()

@@ -24,8 +24,13 @@ Event kinds (the ``kind`` field of every event):
 ``query.admit``        query passed admission control
 ``query.outcome``      terminal outcome (success / rejected / dmf /
                        dsf) with latency, freshness, restart count
+``sched.enqueue``      a query entered the ready queue (cause: admit /
+                       grant / refresh / restart / preempt)
+``sched.dispatch``     a query left the ready queue for the CPU
+``sched.park``         a query blocked waiting on on-demand refreshes
 ``admission.decision`` the AC's full verdict (reason, EST, C_flex)
 ``lock.wait``          a transaction blocked behind a lock
+``lock.grant``         a queued waiter was promoted to lock holder
 ``lock.preempt``       2PL-HP abort: victims named, requester named
 ``update.apply``       an update transaction committed
 ``update.drop``        a source arrival dropped by the policy
@@ -47,8 +52,12 @@ from typing import Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 # Event-kind constants (shared with the exporters and the CLI).
 QUERY_ADMIT = "query.admit"
 QUERY_OUTCOME = "query.outcome"
+SCHED_ENQUEUE = "sched.enqueue"
+SCHED_DISPATCH = "sched.dispatch"
+SCHED_PARK = "sched.park"
 ADMISSION_DECISION = "admission.decision"
 LOCK_WAIT = "lock.wait"
+LOCK_GRANT = "lock.grant"
 LOCK_PREEMPT = "lock.preempt"
 UPDATE_APPLY = "update.apply"
 UPDATE_DROP = "update.drop"
@@ -58,11 +67,21 @@ CONTROL_WINDOW = "control.window"
 FAULT_START = "fault.start"
 FAULT_END = "fault.end"
 
+#: Synthetic header line prepended to JSONL exports when the recorder's
+#: ring buffer dropped events (truncated stream).  Not a recordable
+#: kind — never emitted by instrumentation, absent from ALL_KINDS — so
+#: complete traces keep their historical digests byte-for-byte.
+TRACE_META = "trace.meta"
+
 ALL_KINDS: Tuple[str, ...] = (
     QUERY_ADMIT,
     QUERY_OUTCOME,
+    SCHED_ENQUEUE,
+    SCHED_DISPATCH,
+    SCHED_PARK,
     ADMISSION_DECISION,
     LOCK_WAIT,
+    LOCK_GRANT,
     LOCK_PREEMPT,
     UPDATE_APPLY,
     UPDATE_DROP,
@@ -184,6 +203,58 @@ class QueryOutcomeEvent(TraceEvent):
         }
 
 
+# ``sched.enqueue`` causes — why a query (re)entered the ready queue.
+ENQUEUE_ADMIT = "admit"  # fresh admission
+ENQUEUE_GRANT = "grant"  # a blocking lock was granted
+ENQUEUE_REFRESH = "refresh"  # its on-demand refreshes committed
+ENQUEUE_RESTART = "restart"  # restarted after a 2PL-HP abort
+ENQUEUE_PREEMPT = "preempt"  # preempted off the CPU
+
+ENQUEUE_CAUSES: Tuple[str, ...] = (
+    ENQUEUE_ADMIT,
+    ENQUEUE_GRANT,
+    ENQUEUE_REFRESH,
+    ENQUEUE_RESTART,
+    ENQUEUE_PREEMPT,
+)
+
+
+class SchedEvent(TraceEvent):
+    """The three ``sched.*`` kinds with typed slots.
+
+    Scheduler transitions fire on every dispatch round of every query
+    (several per query under contention), so like the admit/outcome
+    events they skip the eager fields dict; ``cause`` is ``None`` for
+    ``sched.dispatch`` / ``sched.park``.
+    """
+
+    __slots__ = ("txn", "cause")
+
+    def __init__(
+        self, time: float, kind: str, txn: int, cause: Optional[str]
+    ) -> None:
+        self.time = time
+        self.kind = kind
+        self.txn = txn
+        self.cause = cause
+
+    @property
+    def fields(self) -> Dict[str, object]:  # type: ignore[override]
+        if self.cause is None:
+            return {"txn": self.txn}
+        return {"txn": self.txn, "cause": self.cause}
+
+    def as_dict(self) -> Dict[str, object]:
+        if self.cause is None:
+            return {"t": self.time, "kind": self.kind, "txn": self.txn}
+        return {
+            "t": self.time,
+            "kind": self.kind,
+            "txn": self.txn,
+            "cause": self.cause,
+        }
+
+
 class Recorder:
     """Interface shared by :class:`TraceRecorder` and :class:`NullRecorder`.
 
@@ -234,6 +305,15 @@ class Recorder:
             },
         )
 
+    def sched_enqueue(self, time: float, txn_id: int, cause: str) -> None:
+        self.emit(time, SCHED_ENQUEUE, {"txn": txn_id, "cause": cause})
+
+    def sched_dispatch(self, time: float, txn_id: int) -> None:
+        self.emit(time, SCHED_DISPATCH, {"txn": txn_id})
+
+    def sched_park(self, time: float, txn_id: int) -> None:
+        self.emit(time, SCHED_PARK, {"txn": txn_id})
+
     def admission_decision(
         self,
         time: float,
@@ -275,6 +355,9 @@ class Recorder:
                 "holders": list(holders),
             },
         )
+
+    def lock_grant(self, time: float, txn_id: int, item_id: int) -> None:
+        self.emit(time, LOCK_GRANT, {"txn": txn_id, "item": item_id})
 
     def lock_preempt(
         self,
@@ -450,9 +533,18 @@ class TraceRecorder(Recorder):
         if self.metrics is not None:
             self.metrics.observe_event(event)
 
-    # The two hottest kinds bypass ``emit`` entirely: a typed slotted
+    # The hottest kinds bypass ``emit`` entirely: a typed slotted
     # event is appended with no fields dict (built lazily only if an
     # exporter asks).
+
+    def sched_enqueue(self, time: float, txn_id: int, cause: str) -> None:
+        self._record(SchedEvent(time, SCHED_ENQUEUE, txn_id, cause), SCHED_ENQUEUE)
+
+    def sched_dispatch(self, time: float, txn_id: int) -> None:
+        self._record(SchedEvent(time, SCHED_DISPATCH, txn_id, None), SCHED_DISPATCH)
+
+    def sched_park(self, time: float, txn_id: int) -> None:
+        self._record(SchedEvent(time, SCHED_PARK, txn_id, None), SCHED_PARK)
 
     def query_admit(
         self, time: float, txn_id: int, deadline: float, n_items: int

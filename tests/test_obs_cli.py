@@ -76,6 +76,113 @@ class TestConvert:
         assert printed == trace_digest(events)
 
 
+@pytest.fixture()
+def lifecycle_trace_file(tmp_path):
+    """A trace with the sched events the span builder keys on."""
+    rec = TraceRecorder()
+    rec.query_admit(0.1, 1, 1.5, 2)
+    rec.sched_enqueue(0.1, 1, "admit")
+    rec.sched_dispatch(0.3, 1)
+    rec.query_outcome(0.4, 1, "success", 0.1, 0.3, 0.9, 0)
+    path = tmp_path / "lifecycle.jsonl"
+    write_trace_jsonl(rec, path)
+    return path
+
+
+@pytest.fixture()
+def truncated_trace_file(tmp_path):
+    """A ring that wrapped: the JSONL carries a trace.meta header."""
+    rec = TraceRecorder(capacity=2)
+    rec.query_admit(0.1, 1, 1.5, 2)
+    rec.sched_enqueue(0.1, 1, "admit")
+    rec.sched_dispatch(0.3, 1)
+    rec.query_outcome(0.4, 1, "success", 0.1, 0.3, 0.9, 0)
+    path = tmp_path / "truncated.jsonl"
+    write_trace_jsonl(rec, path)
+    return path
+
+
+class TestSpansCommand:
+    def test_spans_to_stdout(self, lifecycle_trace_file, capsys):
+        assert main(["spans", str(lifecycle_trace_file)]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert json.loads(lines[0])["kind"] == "spans.meta"
+        span = json.loads(lines[1])
+        assert span["outcome"] == "success"
+        assert [seg["state"] for seg in span["segments"]] == [
+            "queued", "executing",
+        ]
+
+    def test_spans_to_file(self, lifecycle_trace_file, tmp_path, capsys):
+        out = tmp_path / "spans.jsonl"
+        assert main(["spans", str(lifecycle_trace_file), "--out", str(out)]) == 0
+        assert "wrote 1 spans" in capsys.readouterr().out
+        assert len(out.read_text().splitlines()) == 2
+
+    def test_truncated_trace_warns_and_marks_partial(
+        self, truncated_trace_file, capsys
+    ):
+        assert main(["spans", str(truncated_trace_file)]) == 0
+        captured = capsys.readouterr()
+        assert "truncated" in captured.err
+        assert "PARTIAL" in captured.err
+        header = json.loads(captured.out.splitlines()[0])
+        assert header["partial"] is True
+        assert header["dropped"] == 2
+
+    def test_summary_warns_on_truncation(self, truncated_trace_file, capsys):
+        assert main(["summary", str(truncated_trace_file)]) == 0
+        captured = capsys.readouterr()
+        assert "dropped 2 events" in captured.err
+        assert "trace.meta" in captured.out
+
+    def test_complete_trace_no_warning(self, lifecycle_trace_file, capsys):
+        assert main(["summary", str(lifecycle_trace_file)]) == 0
+        assert capsys.readouterr().err == ""
+
+
+class TestAttribCommand:
+    def test_tables_printed(self, lifecycle_trace_file, capsys):
+        assert main(["attrib", str(lifecycle_trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Wait breakdown" in out
+        assert "p99" in out
+        assert "USM=" in out
+
+    def test_json_report(self, lifecycle_trace_file, tmp_path, capsys):
+        out = tmp_path / "attrib.json"
+        assert (
+            main(
+                ["attrib", str(lifecycle_trace_file),
+                 "--profile", "gt1-high-cr", "--json", str(out)]
+            )
+            == 0
+        )
+        payload = json.loads(out.read_text())
+        assert payload["ledger"]["total"] == 1
+        assert payload["spans_summary"]["spans"] == 1
+
+    def test_unknown_profile_exits(self, lifecycle_trace_file):
+        with pytest.raises(SystemExit):
+            main(["attrib", str(lifecycle_trace_file), "--profile", "nope"])
+
+
+class TestDashCommand:
+    def test_static_export(self, tmp_path, capsys):
+        out = tmp_path / "dash" / "index.html"
+        assert (
+            main(
+                ["dash", "--scale", "smoke", "--policies", "unit",
+                 "--traces", "low-unif", "--out", str(out)]
+            )
+            == 0
+        )
+        assert "wrote static dashboard" in capsys.readouterr().out
+        html = out.read_text()
+        assert "const LIVE = false" in html
+        assert "low-unif" in html
+
+
 class TestSmoke:
     def test_smoke_exports_artifacts(self, tmp_path, capsys):
         out_dir = tmp_path / "artifacts"

@@ -1,0 +1,185 @@
+"""Dashboard contracts: state model, HTTP/SSE server, static export.
+
+The server tests bind to an ephemeral localhost port and use stdlib
+``urllib`` only; nothing here talks to the network proper.
+"""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.core.usm import PenaltyProfile
+from repro.experiments.config import SCALES, ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.experiments.sweep import run_grid
+from repro.obs.config import ObsConfig
+from repro.obs.dash import (
+    DashboardServer,
+    DashboardState,
+    _downsample,
+    render_static_html,
+)
+
+SMOKE = SCALES["smoke"]
+OBS_KEEP = ObsConfig(enabled=True, keep_events=True, metrics=False)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_experiment(
+        ExperimentConfig(
+            policy="unit", update_trace="med-unif", seed=7, scale=SMOKE,
+            obs=OBS_KEEP,
+        )
+    )
+
+
+@pytest.fixture()
+def fed_state(report):
+    state = DashboardState(title="test sweep")
+    state.on_progress(("unit", "med-unif", "naive"), report, 1, 2)
+    state.on_progress(("unit", "low-unif", "naive"), report, 2, 2)
+    return state
+
+
+class TestDownsample:
+    def test_short_series_untouched(self):
+        assert _downsample([1.0, 2.0], 60) == [1.0, 2.0]
+
+    def test_long_series_capped_keeps_endpoints(self):
+        series = [float(i) for i in range(500)]
+        down = _downsample(series, 60)
+        assert len(down) <= 60
+        assert down[0] == 0.0
+        assert down[-1] == 499.0
+
+
+class TestDashboardState:
+    def test_snapshot_shape(self, fed_state):
+        snap = fed_state.snapshot()
+        assert snap["title"] == "test sweep"
+        assert snap["done"] == 2 and snap["total"] == 2
+        assert snap["complete"] is True
+        assert len(snap["cells"]) == 2
+        cell = snap["cells"][0]
+        assert cell["policy"] == "unit"
+        assert cell["trace"] == "med-unif"
+        assert "usm" in cell and "ratios" in cell and "throughput" in cell
+        # keep_events=True: waits attribution rides along.
+        assert "waits" in cell
+        assert not cell["spans_partial"]
+
+    def test_snapshot_json_is_valid_json(self, fed_state):
+        parsed = json.loads(fed_state.snapshot_json())
+        assert parsed["done"] == 2
+
+    def test_sse_subscribers_receive_frames_and_close(self, report):
+        state = DashboardState()
+        subscriber = state.subscribe()
+        state.on_progress(("unit", "med-unif", "naive"), report, 1, 1)
+        frame = subscriber.get(timeout=1)
+        assert json.loads(frame)["done"] == 1
+        state.close()
+        assert subscriber.get(timeout=1) is None
+        state.unsubscribe(subscriber)
+
+    def test_runs_without_kept_events(self):
+        """metrics/keep_events off: the cell payload degrades gracefully."""
+        plain = run_experiment(
+            ExperimentConfig(
+                policy="unit", update_trace="med-unif", seed=7, scale=SMOKE,
+            )
+        )
+        state = DashboardState()
+        state.on_progress(("unit", "med-unif", "naive"), plain, 1, 1)
+        cell = state.snapshot()["cells"][0]
+        assert "waits" not in cell
+        assert "usm_series" not in cell
+
+
+class TestStaticExport:
+    def test_placeholders_substituted(self, fed_state):
+        html = render_static_html(fed_state)
+        assert "__STATE__" not in html and "__LIVE__" not in html
+        assert "const LIVE = false" in html
+        assert "test sweep" in html
+
+    def test_embedded_state_parses(self, fed_state):
+        html = render_static_html(fed_state)
+        marker = "let STATE = "
+        start = html.index(marker) + len(marker)
+        end = html.index(";\n", start)
+        parsed = json.loads(html[start:end].replace("<\\/", "</"))
+        assert len(parsed["cells"]) == 2
+
+
+class TestDashboardServer:
+    def test_routes(self, fed_state):
+        server = DashboardServer(fed_state, port=0).start()
+        try:
+            html = urllib.request.urlopen(server.url + "/", timeout=5).read()
+            assert b"const LIVE = true" in html
+            snap = json.loads(
+                urllib.request.urlopen(server.url + "/state", timeout=5).read()
+            )
+            assert snap["done"] == 2
+            stream = urllib.request.urlopen(server.url + "/events", timeout=5)
+            line = stream.readline().decode("utf-8")
+            assert line.startswith("data: ")
+            assert json.loads(line[len("data: "):])["total"] == 2
+            stream.close()
+            missing = urllib.request.urlopen(
+                server.url + "/nope", timeout=5
+            )
+        except urllib.error.HTTPError as exc:
+            assert exc.code == 404
+        finally:
+            server.stop()
+
+    def test_stop_is_idempotent(self, fed_state):
+        server = DashboardServer(fed_state, port=0).start()
+        server.stop()
+        server.stop()
+
+
+class TestSweepIntegration:
+    def test_run_grid_feeds_dashboard(self):
+        state = DashboardState(title="grid")
+        base = ExperimentConfig(
+            policy="unit", update_trace="low-unif", seed=5, scale=SMOKE,
+            obs=OBS_KEEP,
+        )
+        reports = run_grid(
+            ("unit",),
+            ("low-unif",),
+            (PenaltyProfile.naive(),),
+            SMOKE,
+            seed=5,
+            base=base,
+            dashboard=state,
+        )
+        snap = state.snapshot()
+        assert snap["complete"]
+        assert len(snap["cells"]) == len(reports) == 1
+        html = render_static_html(state)
+        assert "low-unif" in html
+
+    def test_dashboard_chains_with_progress_callback(self):
+        state = DashboardState()
+        seen = []
+        base = ExperimentConfig(
+            policy="unit", update_trace="low-unif", seed=5, scale=SMOKE,
+        )
+        run_grid(
+            ("unit",),
+            ("low-unif",),
+            (PenaltyProfile.naive(),),
+            SMOKE,
+            seed=5,
+            base=base,
+            dashboard=state,
+            progress_callback=lambda key, report, done, total: seen.append(key),
+        )
+        assert seen == [("unit", "low-unif", "naive")]
+        assert state.snapshot()["done"] == 1

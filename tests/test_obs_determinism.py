@@ -134,7 +134,8 @@ class TestArtifactDeterminism:
         first = run_into(tmp_path / "a")
         second = run_into(tmp_path / "b")
         assert set(first) == {
-            "trace_jsonl", "chrome_json", "controller_csv", "prometheus_txt"
+            "trace_jsonl", "chrome_json", "controller_csv", "prometheus_txt",
+            "spans_jsonl",
         }
         for kind in first:
             with open(first[kind], "rb") as fa, open(second[kind], "rb") as fb:

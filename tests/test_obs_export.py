@@ -3,12 +3,17 @@
 import csv
 import json
 
+import pytest
+
 from repro.obs.export import (
+    _prom_number,
     chrome_trace_events,
     controller_rows,
+    histogram_quantile,
     render_prometheus,
     render_trace_jsonl,
     trace_digest,
+    truncation_header,
     write_chrome_trace,
     write_controller_csv,
     write_prometheus,
@@ -142,6 +147,44 @@ class TestControllerCsv:
         assert path.read_text().splitlines() == ["t"]
 
 
+class TestTruncationHeader:
+    def test_complete_trace_has_no_header(self):
+        rec = _sample_recorder()
+        assert truncation_header(rec) is None
+        first = json.loads(render_trace_jsonl(rec).splitlines()[0])
+        assert first["kind"] != "trace.meta"
+
+    def test_wrapped_ring_prepends_header(self, tmp_path):
+        rec = TraceRecorder(capacity=2)
+        rec.query_admit(0.1, 1, 1.5, 2)
+        rec.query_outcome(0.4, 1, "success", 0.1, 0.3, 0.9, 0)
+        rec.control_window(1.0, {"S": 0.8}, 0.42, 20, ["LAC"], 1.25, 0.3, 2, -0.5)
+        header = truncation_header(rec)
+        assert header == {
+            "kind": "trace.meta", "dropped": 1, "recorded": 3, "retained": 2,
+        }
+        path = tmp_path / "truncated.jsonl"
+        write_trace_jsonl(rec, path)
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0]) == header
+        assert len(lines) == 3  # header + the 2 retained events
+
+    def test_digest_unchanged_for_complete_traces(self):
+        """The header must not perturb historical digests."""
+        rec = _sample_recorder()
+        assert trace_digest(rec.event_dicts()) == trace_digest(rec)
+
+    def test_chrome_exporter_skips_header(self):
+        rec = TraceRecorder(capacity=1)
+        rec.query_admit(0.1, 1, 1.5, 2)
+        rec.query_outcome(0.4, 1, "success", 0.1, 0.3, 0.9, 0)
+        events = [json.loads(line) for line in render_trace_jsonl(rec).splitlines()]
+        assert events[0]["kind"] == "trace.meta"
+        assert all(
+            e.get("name") != "trace.meta" for e in chrome_trace_events(events)
+        )
+
+
 class TestPrometheus:
     def test_counter_and_gauge_lines(self):
         reg = MetricsRegistry()
@@ -185,3 +228,79 @@ class TestPrometheus:
         reg.counter("repro_c_total").inc()
         text = render_prometheus(reg, help_text={"repro_c_total": "a counter"})
         assert "# HELP repro_c_total a counter" in text
+
+
+class TestPrometheusQuantiles:
+    def test_quantile_lines_emitted(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_h", (0.1, 0.5, 1.0))
+        for v in (0.05, 0.2, 0.3, 0.7, 2.5):
+            h.observe(v)
+        text = render_prometheus(reg)
+        assert 'repro_h_quantile{quantile="0.5"} 0.4' in text
+        # p90 rank 4.5 lands in the overflow bucket: highest finite edge.
+        assert 'repro_h_quantile{quantile="0.9"} 1' in text
+        assert 'repro_h_quantile{quantile="0.99"} 1' in text
+
+    def test_linear_interpolation_inside_bucket(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_h", (10.0, 20.0))
+        for v in (12.0, 13.0, 14.0, 15.0):
+            h.observe(v)
+        # All 4 in (10, 20]; p50 rank 2 -> 10 + 10 * 2/4 = 15.
+        assert histogram_quantile(h, 0.5) == pytest.approx(15.0)
+
+    def test_first_bucket_lower_bound_is_observed_min(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_h", (10.0,))
+        h.observe(4.0)
+        h.observe(6.0)
+        # rank 1 in the first bucket: interpolate from min(4) to edge(10).
+        assert histogram_quantile(h, 0.5) == pytest.approx(7.0)
+
+    def test_empty_histogram_no_quantiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_h", (1.0,))
+        assert histogram_quantile(h, 0.5) is None
+        assert "_quantile" not in render_prometheus(reg)
+
+    def test_all_overflow_reports_highest_edge(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_h", (1.0, 2.0))
+        h.observe(99.0)
+        assert histogram_quantile(h, 0.5) == 2.0
+
+
+class TestPrometheusEscaping:
+    def test_label_value_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_e_total", {"k": 'a"b\\c\nd'}).inc()
+        text = render_prometheus(reg)
+        assert 'repro_e_total{k="a\\"b\\\\c\\nd"} 1' in text
+        # One physical line: the newline must not split the exposition.
+        assert all(
+            line.startswith(("#", "repro_e_total"))
+            for line in text.strip().splitlines()
+        )
+
+    def test_infinite_and_nan_values(self):
+        reg = MetricsRegistry()
+        reg.gauge("repro_pos").set(0.0, float("inf"))
+        reg.gauge("repro_neg").set(0.0, float("-inf"))
+        text = render_prometheus(reg)
+        assert "repro_pos +Inf" in text
+        assert "repro_neg -Inf" in text
+        assert _prom_number(float("nan")) == "NaN"
+
+    def test_infinite_bucket_edge_renders_plus_inf(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_h", (1.0, float("inf")))
+        h.observe(0.5)
+        h.observe(99.0)
+        text = render_prometheus(reg)
+        # The explicit inf edge and the implicit overflow bucket both
+        # render as +Inf; counts stay cumulative.
+        assert text.count('le="+Inf"') == 2
+        # Quantiles never report an infinite estimate.
+        q = histogram_quantile(h, 0.99)
+        assert q is not None and q == 1.0

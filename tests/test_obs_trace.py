@@ -55,7 +55,11 @@ class TestTraceRecorder:
         rec.query_admit(0.1, 1, 1.0, 2)
         rec.query_outcome(0.3, 1, "success", 0.1, 0.2, 0.95, 0)
         rec.admission_decision(0.1, 1, True, "ok", 0.0, 0, 1.0)
+        rec.sched_enqueue(0.1, 1, "admit")
+        rec.sched_dispatch(0.15, 1)
+        rec.sched_park(0.18, 1)
         rec.lock_wait(0.2, 2, 5, True, [1])
+        rec.lock_grant(0.25, 2, 5)
         rec.lock_preempt(0.2, 2, 5, True, [1])
         rec.update_apply(0.4, 5, 7, False, 2.0)
         rec.update_drop(0.5, 5, 2.0)
