@@ -11,10 +11,60 @@ through its ``minimum``/``maximum`` sentinels.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 from typing import Dict, List, Optional, Sequence
 
 from repro.sim.stats import OnlineStats
+
+
+def stable_report_bytes(report: object) -> bytes:
+    """Canonical serialization of everything a figure could read.
+
+    The byte-identity contract of the determinism regression suite (and
+    the fleet 1-shard-equivalence gate): two reports serialize equal
+    iff every *result* field matches bit-for-bit.  Host-timing fields
+    (``wall_seconds``, ``phase_seconds``) and the observability payload
+    are deliberately excluded — they are reporting metadata, never an
+    input to results.  Floats are rendered with ``float.hex()`` (exact
+    bits, not a rounding).
+    """
+    by_name = lambda kv: kv[0].value  # noqa: E731
+    payload = {
+        "policy": report.policy_name,  # type: ignore[attr-defined]
+        "counts": {
+            o.value: n
+            for o, n in sorted(report.outcome_counts.items(), key=by_name)  # type: ignore[attr-defined]
+        },
+        "submitted": report.queries_submitted,  # type: ignore[attr-defined]
+        "usm": report.usm.hex(),  # type: ignore[attr-defined]
+        "total_usm": report.total_usm.hex(),  # type: ignore[attr-defined]
+        "ratios": {
+            o.value: r.hex()
+            for o, r in sorted(report.ratios.items(), key=by_name)  # type: ignore[attr-defined]
+        },
+        "components": {
+            k: v.hex() for k, v in sorted(report.components.items())  # type: ignore[attr-defined]
+        },
+        "update_arrivals": report.update_arrivals,  # type: ignore[attr-defined]
+        "updates_executed": report.updates_executed,  # type: ignore[attr-defined]
+        "updates_dropped": report.updates_dropped,  # type: ignore[attr-defined]
+        "query_access_counts": report.query_access_counts,  # type: ignore[attr-defined]
+        "update_counts_original": report.update_counts_original,  # type: ignore[attr-defined]
+        "update_counts_executed": report.update_counts_executed,  # type: ignore[attr-defined]
+        "busy": {
+            k: v.hex() for k, v in sorted(report.busy_by_class.items())  # type: ignore[attr-defined]
+        },
+        "events_fired": report.events_fired,  # type: ignore[attr-defined]
+        "summary": report.summary(),  # type: ignore[attr-defined]
+    }
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def stable_report_digest(report: object) -> str:
+    """SHA-256 hex digest of :func:`stable_report_bytes`."""
+    return hashlib.sha256(stable_report_bytes(report)).hexdigest()
 
 
 def json_sanitize(value: object) -> object:

@@ -22,7 +22,7 @@ with an empty scenario it schedules no events at all.
 from __future__ import annotations
 
 import functools
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.db.server import CONTROL_EVENT_PRIORITY, Server
 from repro.faults.scenario import FaultScenario, FaultWindow
@@ -43,7 +43,12 @@ class FaultDriver:
         self.server = server
         self.obs: Recorder = recorder if recorder is not None else NULL_RECORDER
         self.windows: List[FaultWindow] = scenario.timeline()
-        self._active_rates: List[float] = []  # rates of open slowdown windows
+        # Open slowdown windows, keyed by object identity (the same
+        # FaultWindow instance is bound to both its begin and end
+        # events).  The composed rate is recomputed from this set, never
+        # from a saved pre-fault snapshot, so overlapping windows that
+        # end out of order always restore the correct rate.
+        self._active_slowdowns: Dict[int, FaultWindow] = {}
         self.events_scheduled = 0
         self.starts_fired = 0
         self.ends_fired = 0
@@ -71,16 +76,29 @@ class FaultDriver:
     # ------------------------------------------------------------------
 
     def _composed_rate(self) -> float:
+        """Product of the active slowdown multipliers.
+
+        A pure function of the active *set*: windows are multiplied in
+        canonical ``(start, label, rate)`` order, so the result does not
+        depend on the history of how the set was reached.  Float
+        multiplication is not associative, so without the sort two
+        overlapping windows ending in opposite orders could restore
+        different rates.
+        """
         rate = 1.0
-        for active in self._active_rates:
-            rate *= active
+        ordered = sorted(
+            self._active_slowdowns.values(),
+            key=lambda w: (w.start, w.label, w.params_dict()["rate"]),
+        )
+        for window in ordered:
+            rate *= window.params_dict()["rate"]
         return rate
 
     def _begin(self, window: FaultWindow) -> None:
         server = self.server
         self.starts_fired += 1
         if window.kind == "server-slowdown":
-            self._active_rates.append(window.params_dict()["rate"])
+            self._active_slowdowns[id(window)] = window
             server.set_service_rate(self._composed_rate())
         obs = self.obs
         if obs.enabled:
@@ -95,7 +113,7 @@ class FaultDriver:
         server = self.server
         self.ends_fired += 1
         if window.kind == "server-slowdown":
-            self._active_rates.remove(window.params_dict()["rate"])
+            self._active_slowdowns.pop(id(window), None)
             server.set_service_rate(self._composed_rate())
         obs = self.obs
         if obs.enabled:

@@ -1,0 +1,40 @@
+"""Sharded multi-server fleet with a hierarchical load-balancing controller.
+
+A fleet runs N independent single-server substrates (each its own
+simulator, ready queue, 2PL-HP lock manager, and update-management
+policy — the ``db``/``core`` stack unchanged) over a deterministic item
+partition with optional K-way replication.  A pre-simulation router
+admits every query to exactly one shard; a global coordinator watches
+per-shard epoch summaries and reallocates admission slack (``C_flex``)
+and update-modulation pressure across shards each control window.
+
+Determinism contract: a 1-shard fleet is *report-digest-identical* to
+the single-server runner for the same :class:`ExperimentConfig` and
+seed, and an N-shard fleet is byte-identical across repeats and across
+serial-vs-process shard execution.
+"""
+
+from repro.fleet.controller import Directive, EpochSummary, GlobalCoordinator
+from repro.fleet.partition import Partition, build_partition
+from repro.fleet.report import FleetReport, merge_reports
+from repro.fleet.router import ROUTER_POLICIES, RoutingPlan, route_queries
+from repro.fleet.runner import FleetConfig, run_fleet
+from repro.fleet.substrate import ShardRun, ShardSpec, build_shard_specs
+
+__all__ = [
+    "Directive",
+    "EpochSummary",
+    "FleetConfig",
+    "FleetReport",
+    "GlobalCoordinator",
+    "Partition",
+    "ROUTER_POLICIES",
+    "RoutingPlan",
+    "ShardRun",
+    "ShardSpec",
+    "build_partition",
+    "build_shard_specs",
+    "merge_reports",
+    "route_queries",
+    "run_fleet",
+]

@@ -1,0 +1,135 @@
+"""Run shard substrates as separate OS processes.
+
+One long-lived worker process per shard, driven over a
+:class:`multiprocessing.Pipe` in lockstep epochs:
+
+    init(spec) -> [apply(directive)? -> run_to(t) -> summary]* -> finish
+
+A shard's trajectory is a pure function of its spec and the directive
+sequence it receives, and the coordinator computes directives from the
+summaries alone — so the process-parallel fleet is byte-identical to
+the serial in-process loop (the equivalence the fleet test suite locks
+in).  Workers complement the sweep pool in
+:mod:`repro.experiments.sweep`: the pool parallelizes *independent*
+fleet cells across a sweep grid, while these processes parallelize the
+*coupled* shards inside one fleet run (a stateful epoch protocol the
+pool's fire-and-forget tasks cannot express).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import SimulationReport
+from repro.fleet.controller import Directive
+from repro.fleet.substrate import ShardRun, ShardSpec
+
+_CMD_RUN_TO = "run_to"
+_CMD_FINISH = "finish"
+_CMD_STOP = "stop"
+
+
+def _shard_worker(
+    conn: "multiprocessing.connection.Connection", spec: ShardSpec
+) -> None:
+    """Worker loop: build the substrate, then serve epoch commands."""
+    try:
+        started = time.perf_counter()
+        run = ShardRun(spec)
+        while True:
+            message = conn.recv()
+            command = message[0]
+            if command == _CMD_RUN_TO:
+                _, until, directive = message
+                if directive is not None:
+                    run.apply_directive(directive)
+                run.run_to(until)
+                conn.send(("ok", run.epoch_summary()))
+            elif command == _CMD_FINISH:
+                conn.send(("ok", run.finish(time.perf_counter() - started)))
+                break
+            elif command == _CMD_STOP:
+                break
+            else:  # pragma: no cover - protocol misuse
+                conn.send(("error", f"unknown command {command!r}"))
+                break
+    except Exception as exc:  # pragma: no cover - surfaced to the parent
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+class ShardProcessPool:
+    """One process per shard, stepped in lockstep epochs."""
+
+    def __init__(self, specs: Sequence[ShardSpec]) -> None:
+        # fork keeps the parent's warm module state (same reasoning as
+        # the sweep pool); fall back to the platform default elsewhere.
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            ctx = multiprocessing.get_context()
+        self._conns: List["multiprocessing.connection.Connection"] = []
+        self._procs: List[multiprocessing.process.BaseProcess] = []
+        for spec in specs:
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_worker,
+                args=(child, spec),
+                name=f"fleet-shard-{spec.shard_id}",
+                daemon=True,
+            )
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+
+    def _recv(self, index: int) -> object:
+        status, payload = self._conns[index].recv()
+        if status != "ok":
+            raise RuntimeError(f"shard process {index} failed: {payload}")
+        return payload
+
+    def run_epoch(
+        self, until: float, directives: Optional[Sequence[Optional[Directive]]] = None
+    ) -> List[Dict[str, object]]:
+        """Advance every shard to ``until``; returns epoch summaries.
+
+        All shards run concurrently (commands are sent before any reply
+        is awaited); replies are collected in shard order so the caller
+        sees a deterministic sequence.
+        """
+        for index, conn in enumerate(self._conns):
+            directive = directives[index] if directives is not None else None
+            conn.send((_CMD_RUN_TO, until, directive))
+        return [self._recv(index) for index in range(len(self._conns))]  # type: ignore[misc]
+
+    def finish(self) -> List[SimulationReport]:
+        """Drain every shard and collect the reports (shard order)."""
+        for conn in self._conns:
+            conn.send((_CMD_FINISH,))
+        reports = [self._recv(index) for index in range(len(self._conns))]
+        self.close()
+        return reports  # type: ignore[return-value]
+
+    def close(self) -> None:
+        """Terminate workers and reap the processes (idempotent)."""
+        for conn in self._conns:
+            try:
+                conn.send((_CMD_STOP,))
+            except (BrokenPipeError, OSError):
+                pass
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=10.0)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=5.0)
+        self._conns = []
+        self._procs = []

@@ -27,11 +27,14 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 from repro.core.fixedpoint import fixed_from_float, float_from_fixed
 from repro.core.usm import PenaltyProfile
 from repro.db.transactions import Outcome
+from repro.obs.logging_setup import get_logger
 from repro.obs.spans import (
     COMPONENT_BY_OUTCOME,
     WAIT_STATES,
     QuerySpan,
 )
+
+_log = get_logger(__name__)
 
 #: The percentiles every table reports.
 PERCENTILES: Tuple[float, ...] = (0.50, 0.90, 0.99)
@@ -215,14 +218,41 @@ def attrib_report(
 # ----------------------------------------------------------------------
 
 
+#: Recognized update-trace volume prefixes (the standard traces are
+#: named ``<volume>-<skew>``; see workload.updates.VOLUME_UTILIZATION).
+RECOGNIZED_LOAD_LEVELS: Tuple[str, ...] = ("low", "med", "high")
+
+#: Bucket for trace names without a recognized volume prefix.
+OTHER_LOAD_LEVEL = "other"
+
+# Unrecognized names already warned about (warn once per name, so a
+# sweep over many cells of one custom scenario logs a single line).
+_warned_levels: set = set()
+
+
 def load_level(trace_name: str) -> str:
-    """The load-level prefix of an update-trace name.
+    """The load-level bucket of an update-trace name.
 
     The standard traces are named ``<volume>-<skew>`` (``med-unif``,
     ``high-skew`` …); the volume prefix is the load level.  Names
-    without a dash are their own level.
+    without a recognized volume prefix (custom scenario names, ad-hoc
+    traces) all pool into the explicit ``"other"`` bucket — a warning
+    is logged once per distinct name so misnamed traces don't silently
+    vanish into spurious one-cell levels.
     """
-    return trace_name.split("-", 1)[0]
+    prefix = trace_name.split("-", 1)[0]
+    if prefix in RECOGNIZED_LOAD_LEVELS:
+        return prefix
+    if trace_name not in _warned_levels:
+        _warned_levels.add(trace_name)
+        _log.warning(
+            "update-trace name %r has no recognized volume prefix %s; "
+            "pooling it into the %r load bucket",
+            trace_name,
+            RECOGNIZED_LOAD_LEVELS,
+            OTHER_LOAD_LEVEL,
+        )
+    return OTHER_LOAD_LEVEL
 
 
 def aggregate_by_load(

@@ -47,6 +47,20 @@ _SPARK_POINTS = 60
 #: SSE keep-alive interval, seconds (queue timeout, not a clock read).
 _SSE_PING_SECONDS = 15.0
 
+#: Per-subscriber frame-queue bound.  Frames are *full-state* snapshots
+#: (not deltas), so when a slow or stuck client falls behind, the oldest
+#: queued frame is stale and can be dropped losslessly — the newest one
+#: supersedes it.  Without the bound a dead-but-not-yet-detected client
+#: accumulates one frame per finished cell for the whole sweep.
+_SUBSCRIBER_QUEUE_FRAMES = 64
+
+#: Socket send timeout for SSE handler threads, seconds.  A client that
+#: stops reading (suspended laptop, wedged proxy) eventually blocks the
+#: handler's ``wfile.write`` forever; the timeout turns that into an
+#: ``OSError`` so the handler unsubscribes and exits instead of pinning
+#: its queue (and thread) for the rest of the sweep.
+_SSE_SEND_TIMEOUT_SECONDS = 20.0
+
 
 def _downsample(series: List[float], limit: int = _SPARK_POINTS) -> List[float]:
     """Thin a series to at most ``limit`` points (every k-th, keep last)."""
@@ -158,7 +172,9 @@ class DashboardState:
     # -- SSE plumbing ---------------------------------------------------
 
     def subscribe(self) -> "queue.Queue[Optional[str]]":
-        subscriber: "queue.Queue[Optional[str]]" = queue.Queue()
+        subscriber: "queue.Queue[Optional[str]]" = queue.Queue(
+            maxsize=_SUBSCRIBER_QUEUE_FRAMES
+        )
         with self._lock:
             self._subscribers.append(subscriber)
         return subscriber
@@ -168,19 +184,45 @@ class DashboardState:
             if subscriber in self._subscribers:
                 self._subscribers.remove(subscriber)
 
+    @property
+    def subscriber_count(self) -> int:
+        with self._lock:
+            return len(self._subscribers)
+
+    @staticmethod
+    def _offer(
+        subscriber: "queue.Queue[Optional[str]]", frame: Optional[str]
+    ) -> None:
+        """Enqueue a frame, evicting the stalest one when full.
+
+        Frames are complete snapshots, so drop-oldest is lossless for
+        any reader that eventually catches up — and it means a stuck
+        subscriber can never make ``on_progress`` (the sweep thread)
+        block or grow without bound.
+        """
+        while True:
+            try:
+                subscriber.put_nowait(frame)
+                return
+            except queue.Full:
+                try:
+                    subscriber.get_nowait()
+                except queue.Empty:  # raced with the consumer: retry put
+                    continue
+
     def _publish(self) -> None:
         frame = self.snapshot_json()
         with self._lock:
             subscribers = list(self._subscribers)
         for subscriber in subscribers:
-            subscriber.put(frame)
+            self._offer(subscriber, frame)
 
     def close(self) -> None:
         """Tell every subscriber the stream is over."""
         with self._lock:
             subscribers = list(self._subscribers)
         for subscriber in subscribers:
-            subscriber.put(None)
+            self._offer(subscriber, None)
 
 
 def _make_handler(state: DashboardState) -> type:
@@ -218,6 +260,10 @@ def _make_handler(state: DashboardState) -> type:
             self.send_header("Content-Type", "text/event-stream")
             self.send_header("Cache-Control", "no-store")
             self.end_headers()
+            # A client that stops *reading* (without closing) would
+            # otherwise block a send forever, pinning this handler and
+            # its subscriber queue for the rest of the sweep.
+            self.connection.settimeout(_SSE_SEND_TIMEOUT_SECONDS)
             subscriber = state.subscribe()
             try:
                 # Replay the current state so late joiners render now.
@@ -232,8 +278,13 @@ def _make_handler(state: DashboardState) -> type:
                     if frame is None:
                         break
                     self._frame(frame)
-            except (BrokenPipeError, ConnectionResetError):
-                pass  # client went away
+            except OSError:
+                # Client went away (broken pipe / reset) or stopped
+                # reading (send timeout): release the subscription
+                # either way so long sweeps don't accumulate dead
+                # queues.  BrokenPipeError, ConnectionResetError, and
+                # socket.timeout are all OSError subclasses.
+                pass
             finally:
                 state.unsubscribe(subscriber)
 

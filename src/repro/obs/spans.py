@@ -142,6 +142,7 @@ class QuerySpan:
         "usm_component",
         "cause",
         "faults",
+        "shard",
     )
 
     def __init__(
@@ -161,6 +162,7 @@ class QuerySpan:
         usm_component: str,
         cause: Optional[str],
         faults: List[str],
+        shard: Optional[int] = None,
     ) -> None:
         self.txn = txn
         self.arrival = arrival
@@ -177,6 +179,7 @@ class QuerySpan:
         self.usm_component = usm_component
         self.cause = cause
         self.faults = faults
+        self.shard = shard
 
     @property
     def duration(self) -> float:
@@ -195,8 +198,11 @@ class QuerySpan:
         return self.deadline - self.end
 
     def as_dict(self) -> Dict[str, object]:
-        """Flatten for the JSONL dump (keys sorted at dump time)."""
-        return {
+        """Flatten for the JSONL dump (keys sorted at dump time).
+
+        The ``shard`` key only appears for fleet runs (label set) so
+        single-server span dumps keep their historical digests."""
+        out: Dict[str, object] = {
             "txn": self.txn,
             "arrival": self.arrival,
             "admit": self.admit,
@@ -213,6 +219,9 @@ class QuerySpan:
             "cause": self.cause,
             "faults": self.faults,
         }
+        if self.shard is not None:
+            out["shard"] = self.shard
+        return out
 
     def __repr__(self) -> str:
         return (
@@ -382,6 +391,7 @@ def _iter_event_tuples(
 def build_spans(
     events: Iterable[EventLike],
     dropped: int = 0,
+    shard: Optional[int] = None,
 ) -> SpanBuildResult:
     """Fold a trace stream into per-query lifecycle spans.
 
@@ -392,6 +402,9 @@ def build_spans(
             contributes its ``dropped`` count.
         dropped: Ring-buffer drop count when the caller knows it
             out-of-band (e.g. from a live :class:`TraceRecorder`).
+        shard: Fleet shard label stamped on every span (``None`` —
+            the default — for single-server runs; the span dump then
+            omits the key entirely, preserving historical digests).
 
     Returns:
         A :class:`SpanBuildResult`; never raises on malformed input.
@@ -493,6 +506,7 @@ def build_spans(
                         usm_component="R",
                         cause=reject_reasons.pop(txn, "admission"),
                         faults=_overlapping_faults(fault_windows, fault_open, now, now),
+                        shard=shard,
                     )
                 )
                 continue
@@ -529,6 +543,7 @@ def build_spans(
                     usm_component=component,
                     cause=cause,
                     faults=faults,
+                    shard=shard,
                 )
             )
         elif kind == _trace.ADMISSION_DECISION:

@@ -41,6 +41,10 @@ Event kinds (the ``kind`` field of every event):
 ``fault.start``        an injected fault window opened (label, fault
                        type, parameters)
 ``fault.end``          an injected fault window closed
+``fleet.route``        the fleet router assigned a query to a shard
+                       (candidates considered, estimated freshness)
+``fleet.rebalance``    the global coordinator issued a per-shard
+                       directive (C_flex factor, modulation signal)
 =====================  ==============================================
 """
 
@@ -66,6 +70,8 @@ CONTROL_ALLOCATE = "control.allocate"
 CONTROL_WINDOW = "control.window"
 FAULT_START = "fault.start"
 FAULT_END = "fault.end"
+FLEET_ROUTE = "fleet.route"
+FLEET_REBALANCE = "fleet.rebalance"
 
 #: Synthetic header line prepended to JSONL exports when the recorder's
 #: ring buffer dropped events (truncated stream).  Not a recordable
@@ -90,6 +96,8 @@ ALL_KINDS: Tuple[str, ...] = (
     CONTROL_WINDOW,
     FAULT_START,
     FAULT_END,
+    FLEET_ROUTE,
+    FLEET_REBALANCE,
 )
 
 #: Default ring capacity: large enough for a full small-scale cell
@@ -466,6 +474,50 @@ class Recorder:
 
     def fault_end(self, time: float, label: str, fault: str) -> None:
         self.emit(time, FAULT_END, {"label": label, "fault": fault})
+
+    def fleet_route(
+        self,
+        time: float,
+        txn_id: int,
+        shard: int,
+        policy: str,
+        candidates: Sequence[int],
+        est_freshness: float,
+        forced: bool,
+    ) -> None:
+        self.emit(
+            time,
+            FLEET_ROUTE,
+            {
+                "txn": txn_id,
+                "shard": shard,
+                "policy": policy,
+                "candidates": list(candidates),
+                "est_freshness": est_freshness,
+                "forced": forced,
+            },
+        )
+
+    def fleet_rebalance(
+        self,
+        time: float,
+        shard: int,
+        flex_factor: float,
+        c_flex_before: float,
+        c_flex_after: float,
+        modulate: Optional[str],
+    ) -> None:
+        self.emit(
+            time,
+            FLEET_REBALANCE,
+            {
+                "shard": shard,
+                "flex_factor": flex_factor,
+                "c_flex_before": c_flex_before,
+                "c_flex_after": c_flex_after,
+                "modulate": modulate,
+            },
+        )
 
 
 class NullRecorder(Recorder):

@@ -216,6 +216,7 @@ def test_incremental_backlogs_match_recompute_oracle(seed):
     rng = random.Random(seed)
     rq = ReadyQueue()
     live = {}
+    gone = []  # removed or popped queries: un-queued probe material
     next_id = 1
     for _ in range(400):
         roll = rng.random()
@@ -235,6 +236,8 @@ def test_incremental_backlogs_match_recompute_oracle(seed):
         elif roll < 0.8:
             victim = live.pop(rng.choice(sorted(live)))
             rq.remove(victim)
+            if not victim.is_update:
+                gone.append(victim)
         else:
             popped = rq.pop()
             assert popped is not None
@@ -247,10 +250,28 @@ def test_incremental_backlogs_match_recompute_oracle(seed):
                 ),
             )
             del live[popped.txn_id]
+            if not popped.is_update:
+                gone.append(popped)
         # Probe with a fresh (never-pushed) query and, when possible, a
         # queued one — both must see identical ordering semantics.
         _assert_matches_oracle(rq, live, query(next_id, deadline=rng.uniform(0.1, 8.0)))
         queued = [t for t in live.values() if not t.is_update]
         if queued:
             _assert_matches_oracle(rq, live, rng.choice(sorted(queued, key=lambda t: t.txn_id)))
+            # Un-queued probe tying a queued entry's deadline exactly:
+            # a not-yet-pushed query being sized up by the admission
+            # controller.  Its backlog must count the tied entry when
+            # the entry's txn_id sorts ahead and skip it otherwise —
+            # and never count the probe itself.
+            tied = rng.choice(sorted(queued, key=lambda t: t.txn_id))
+            _assert_matches_oracle(
+                rq, live, query(next_id + 1, deadline=tied.deadline)
+            )
+            _assert_matches_oracle(rq, live, query(0, deadline=tied.deadline))
+        if gone:
+            # A query that was queued earlier but has since been removed
+            # or popped: probing with it must behave exactly like any
+            # other un-queued probe (its stale key must not resurface).
+            _assert_matches_oracle(rq, live, rng.choice(gone))
     assert next_id > 100  # the history actually exercised pushes
+    assert gone  # the history actually exercised un-queued probes

@@ -12,34 +12,14 @@ import json
 
 from repro.experiments.config import SCALES, ExperimentConfig
 from repro.experiments.figures import figure4, render_figure4
+from repro.experiments.report import stable_report_bytes
 from repro.experiments.runner import run_experiment
 
 SMOKE = SCALES["smoke"]
 
-
-def _stable_report_bytes(report) -> bytes:
-    """Serialize everything a figure could read (wall_seconds excluded:
-    host timing is *reporting* metadata, never an input to results)."""
-    by_name = lambda kv: kv[0].value  # noqa: E731
-    payload = {
-        "policy": report.policy_name,
-        "counts": {o.value: n for o, n in sorted(report.outcome_counts.items(), key=by_name)},
-        "submitted": report.queries_submitted,
-        "usm": report.usm.hex(),  # float.hex(): exact bits, not a rounding
-        "total_usm": report.total_usm.hex(),
-        "ratios": {o.value: r.hex() for o, r in sorted(report.ratios.items(), key=by_name)},
-        "components": {k: v.hex() for k, v in sorted(report.components.items())},
-        "update_arrivals": report.update_arrivals,
-        "updates_executed": report.updates_executed,
-        "updates_dropped": report.updates_dropped,
-        "query_access_counts": report.query_access_counts,
-        "update_counts_original": report.update_counts_original,
-        "update_counts_executed": report.update_counts_executed,
-        "busy": {k: v.hex() for k, v in sorted(report.busy_by_class.items())},
-        "events_fired": report.events_fired,
-        "summary": report.summary(),
-    }
-    return json.dumps(payload, sort_keys=True).encode("utf-8")
+# The canonical serialization lives in experiments.report so the fleet
+# 1-shard-equivalence gate shares the exact same byte contract.
+_stable_report_bytes = stable_report_bytes
 
 
 class TestSingleRunDeterminism:

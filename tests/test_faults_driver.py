@@ -126,6 +126,57 @@ class TestFaultDriver:
         sim.run()
         assert observed == [0.5, 0.25, 0.5, 1.0]
 
+    def test_overlapping_slowdowns_ending_out_of_order(self):
+        """Regression: the first-started window ends while the second is
+        still open.  The restore must recompose the rate from the set of
+        active faults — a pre-fault snapshot would wrongly restore 1.0
+        at t=10 and 0.5 at t=20."""
+        scenario = FaultScenario(
+            name="s",
+            slowdowns=[
+                ServerSlowdown(start=0.0, end=10.0, rate=0.5),
+                ServerSlowdown(start=5.0, end=20.0, rate=0.25),
+            ],
+        )
+        sim, _, server = make_server()
+        FaultDriver(scenario, server).install(sim)
+        observed = []
+        for t in (1.0, 6.0, 12.0, 25.0):
+            sim.schedule(t, lambda: observed.append(server.service_rate))
+        sim.run()
+        assert observed == [0.5, 0.5 * 0.25, 0.25, 1.0]
+
+    def test_recomposed_rate_is_history_independent(self):
+        """With three overlapping windows the composed rate must be the
+        canonical-order product of whatever set is active — identical
+        whichever order windows happened to open or close in."""
+        rates = (0.3, 0.7, 0.9)
+        starts = (0.0, 2.0, 4.0)
+        # First scenario: windows close in start order; second: reverse.
+        ends_in_order = (10.0, 12.0, 14.0)
+        ends_reversed = (14.0, 12.0, 10.0)
+        observed = {}
+        for label, ends in (("fifo", ends_in_order), ("lifo", ends_reversed)):
+            scenario = FaultScenario(
+                name=label,
+                slowdowns=[
+                    ServerSlowdown(start=s, end=e, rate=r)
+                    for s, e, r in zip(starts, ends, rates)
+                ],
+            )
+            sim, _, server = make_server()
+            FaultDriver(scenario, server).install(sim)
+            samples = []
+            for t in (5.0, 20.0):
+                sim.schedule(t, lambda: samples.append(server.service_rate))
+            sim.run()
+            observed[label] = samples
+        # While all three are active the rate is the canonical-order
+        # product regardless of open order; after all close it is 1.0.
+        expected_all = (0.3 * 0.7) * 0.9  # (start, label) order
+        assert observed["fifo"] == [expected_all, 1.0]
+        assert observed["lifo"] == [expected_all, 1.0]
+
     def test_emits_paired_trace_markers(self):
         sim, _, server = make_server()
         rec = TraceRecorder()

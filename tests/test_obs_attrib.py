@@ -108,7 +108,48 @@ class TestAggregateByLoad:
     def test_load_level_prefix(self):
         assert load_level("med-unif") == "med"
         assert load_level("low-skew") == "low"
-        assert load_level("custom") == "custom"
+        assert load_level("high-neg") == "high"
+
+    def test_unrecognized_prefix_routes_to_other(self):
+        """Regression: custom scenario names used to become their own
+        spurious buckets (or collide: 'medium-x' pooled as 'medium');
+        they must all land in the explicit 'other' bucket."""
+        assert load_level("custom") == "other"
+        assert load_level("medium-crazy") == "other"
+        assert load_level("") == "other"
+
+    def test_unrecognized_name_warns_once(self, caplog, monkeypatch):
+        import logging
+
+        from repro.obs import attrib
+
+        attrib._warned_levels.discard("oddball-trace")
+        # A CLI test may have run configure_logging, which turns off
+        # propagation on the "repro" logger; caplog's handler lives on
+        # the root logger, so restore propagation for this test.
+        monkeypatch.setattr(logging.getLogger("repro"), "propagate", True)
+        with caplog.at_level(logging.WARNING, logger=attrib._log.name):
+            assert load_level("oddball-trace") == "other"
+            assert load_level("oddball-trace") == "other"
+        warnings = [
+            rec for rec in caplog.records if "oddball-trace" in rec.getMessage()
+        ]
+        assert len(warnings) == 1
+
+    def test_other_bucket_pools_in_aggregate(self):
+        _, low = _run(trace="low-unif")
+        cells = {
+            ("unit", "low-unif", "naive"): low,
+            ("unit", "scenario-x", "naive"): low,
+            ("unit", "scenario-y", "naive"): low,
+        }
+        pooled = aggregate_by_load(cells, PenaltyProfile.naive())
+        assert sorted(pooled) == ["low", "other"]
+        assert pooled["other"]["cells"] == [
+            "unit/scenario-x/naive",
+            "unit/scenario-y/naive",
+        ]
+        assert pooled["other"]["ledger"]["total"] == 2 * len(low)
 
     def test_pools_by_trace_prefix(self):
         _, low = _run(trace="low-unif")

@@ -142,6 +142,72 @@ class TestDashboardServer:
         server.stop()
         server.stop()
 
+    def test_dropped_connection_releases_subscriber(self, report):
+        """Regression: a client that connects to /events and then drops
+        the connection must not leave its subscriber queue registered —
+        long sweeps would otherwise accumulate one dead queue (and one
+        blocked handler thread) per disconnect."""
+        import socket
+        import time
+
+        state = DashboardState(title="drop test")
+        server = DashboardServer(state, port=0).start()
+        try:
+            conn = socket.create_connection((server.host, server.port), timeout=5)
+            conn.sendall(b"GET /events HTTP/1.1\r\nHost: x\r\n\r\n")
+            # Wait for the replayed initial frame: subscription is live.
+            conn.settimeout(5)
+            received = b""
+            while b"data: " not in received:
+                chunk = conn.recv(65536)
+                assert chunk, "stream closed before the initial frame"
+                received += chunk
+            assert state.subscriber_count == 1
+            # Drop the connection abruptly (no clean shutdown), then
+            # publish frames until the handler's next write notices.
+            conn.close()
+            deadline = time.monotonic() + 10.0
+            while state.subscriber_count and time.monotonic() < deadline:
+                state.on_progress(("unit", "med-unif", "naive"), report, 1, 2)
+                time.sleep(0.05)
+            assert state.subscriber_count == 0
+        finally:
+            server.stop()
+
+
+class TestSubscriberQueueBound:
+    def test_publish_to_stuck_subscriber_drops_oldest(self, report):
+        """A subscriber that never drains must stay bounded, and the
+        newest frame must survive the eviction (frames are full-state
+        snapshots, so dropping stale ones is lossless)."""
+        from repro.obs.dash import _SUBSCRIBER_QUEUE_FRAMES
+
+        state = DashboardState()
+        subscriber = state.subscribe()
+        total = _SUBSCRIBER_QUEUE_FRAMES + 25
+        for done in range(1, total + 1):
+            state.on_progress(("unit", "med-unif", "naive"), report, done, total)
+        assert subscriber.qsize() <= _SUBSCRIBER_QUEUE_FRAMES
+        last = None
+        while not subscriber.empty():
+            last = subscriber.get_nowait()
+        assert json.loads(last)["done"] == total
+        state.unsubscribe(subscriber)
+
+    def test_close_reaches_stuck_subscriber(self, report):
+        """The end-of-stream sentinel must land even on a full queue."""
+        from repro.obs.dash import _SUBSCRIBER_QUEUE_FRAMES
+
+        state = DashboardState()
+        subscriber = state.subscribe()
+        for done in range(_SUBSCRIBER_QUEUE_FRAMES + 5):
+            state.on_progress(("unit", "med-unif", "naive"), report, done + 1, 999)
+        state.close()
+        frames = []
+        while not subscriber.empty():
+            frames.append(subscriber.get_nowait())
+        assert frames[-1] is None
+
 
 class TestSweepIntegration:
     def test_run_grid_feeds_dashboard(self):

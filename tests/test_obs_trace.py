@@ -68,12 +68,14 @@ class TestTraceRecorder:
         rec.control_window(1.0, {"S": 0.8}, 0.4, 20, ["LAC"], 1.1, 0.3, 2, -0.5)
         rec.fault_start(2.0, "server-slowdown-0", "server-slowdown", {"rate": 0.5})
         rec.fault_end(3.0, "server-slowdown-0", "server-slowdown")
+        rec.fleet_route(0.05, 1, 0, "freshness", [0, 1], 0.9, False)
+        rec.fleet_rebalance(4.0, 0, 1.1, 1.0, 1.1, "degrade")
         assert sorted(rec.counts) == sorted(ALL_KINDS)
         assert len(rec) == len(ALL_KINDS)
         # Events are retained in emit order.
         kinds = [event.kind for event in rec.events()]
         assert kinds[0] == "query.admit"
-        assert kinds[-1] == "fault.end"
+        assert kinds[-1] == "fleet.rebalance"
 
     def test_ring_evicts_oldest_and_counts_drops(self):
         rec = TraceRecorder(capacity=3)
